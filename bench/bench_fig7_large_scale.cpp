@@ -1,0 +1,89 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Fig. 7: large-scale terrains (Wikipedia, Cit-Patent) for K-Core and
+// K-Truss fields, with the densest-structure drill-down the paper
+// highlights (K-Truss with K=86, K-Core with K=64 on the real data).
+// Runs on scale-divided analogues by default; set GRAPHSCAPE_FULL_SCALE=1
+// to regenerate at paper scale.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "gen/datasets.h"
+#include "metrics/kcore.h"
+#include "metrics/ktruss.h"
+#include "scalar/edge_scalar_tree.h"
+#include "scalar/simplify.h"
+#include "scalar/tree_queries.h"
+#include "terrain/render.h"
+#include "terrain/terrain_raster.h"
+
+namespace {
+
+using namespace graphscape;
+
+void Run(DatasetId id, const std::string& out) {
+  DatasetOptions options;
+  if (bench::FullScale()) options.scale_divisor = 1;
+  WallTimer timer;
+  const Dataset ds = MakeDataset(id, options);
+  std::printf("%s (1/%u scale): %u vertices, %u edges [gen %.1fs]\n",
+              ds.spec.name, ds.scale_divisor, ds.graph.NumVertices(),
+              ds.graph.NumEdges(), timer.Seconds());
+
+  // K-Core terrain.
+  timer.Restart();
+  const VertexScalarField kc =
+      VertexScalarField::FromCounts("KC", CoreNumbers(ds.graph));
+  const SuperTree core_tree(BuildVertexScalarTree(ds.graph, kc));
+  std::printf("  K-Core: densest K=%g, super tree %u nodes [%.1fs]\n",
+              kc.MaxValue(), core_tree.NumNodes(), timer.Seconds());
+  const auto core_peaks = PeaksAtLevel(core_tree, kc.MaxValue());
+  for (const auto& peak : core_peaks)
+    std::printf("    densest K-Core: %u vertices\n", peak.member_count);
+  const HeightField core_field =
+      RasterizeTerrain(BuildTerrainLayout(core_tree));
+  (void)WritePpm(RenderOblique(core_field, HeightColors(core_tree), Camera{},
+                               960, 720),
+                 out + "/fig7_" + ds.spec.name + "_kcore.ppm");
+
+  // K-Truss terrain (simplified tree for rendering, as §II-E prescribes for
+  // large trees).
+  timer.Restart();
+  const EdgeScalarField kt =
+      EdgeScalarField::FromCounts("KT", TrussNumbers(ds.graph));
+  const SuperTree truss_tree(BuildEdgeScalarTree(ds.graph, kt));
+  std::printf("  K-Truss: densest KT=%g, super tree %u nodes [%.1fs]\n",
+              kt.MaxValue(), truss_tree.NumNodes(), timer.Seconds());
+  const auto truss_peaks = PeaksAtLevel(truss_tree, kt.MaxValue());
+  for (const auto& peak : truss_peaks)
+    std::printf("    densest K-Truss: %u edges\n", peak.member_count);
+
+  const SuperTree render_tree =
+      truss_tree.NumNodes() > 50000
+          ? SimplifiedEdgeSuperTree(ds.graph, kt, 64)
+          : truss_tree;
+  const HeightField truss_field =
+      RasterizeTerrain(BuildTerrainLayout(render_tree));
+  (void)WritePpm(RenderOblique(truss_field, HeightColors(render_tree),
+                               Camera{}, 960, 720),
+                 out + "/fig7_" + ds.spec.name + "_ktruss.ppm");
+}
+
+}  // namespace
+
+int main() {
+  using namespace graphscape;
+  bench::Banner("Fig. 7 — K-Cores and K-Trusses at scale",
+                "paper Fig. 7(a)-(f): Wikipedia & Cit-Patent terrains + "
+                "densest-structure drilldowns");
+  const std::string out = bench::OutputDir();
+  Run(DatasetId::kWikipedia, out);
+  Run(DatasetId::kCitPatent, out);
+  std::printf("shape check: scale-free link/citation graphs grow one "
+              "dominant dense structure whose\nK value far exceeds the "
+              "collaboration networks' (paper: K-Truss K=86, K-Core K=64).\n");
+  return 0;
+}

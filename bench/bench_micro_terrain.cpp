@@ -1,0 +1,93 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Microbenchmarks of the terrain pipeline: layout construction under both
+// split policies (the DESIGN.md ablation), rasterization by resolution, and
+// the oblique software render.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "metrics/kcore.h"
+#include "scalar/scalar_tree.h"
+#include "scalar/super_tree.h"
+#include "terrain/render.h"
+#include "terrain/terrain_layout.h"
+#include "terrain/terrain_raster.h"
+
+namespace graphscape {
+namespace {
+
+SuperTree BenchTree(uint32_t n) {
+  CollaborationOptions options;
+  options.num_vertices = n;
+  options.num_groups = n / 2;
+  Rng rng(5);
+  const Graph g = CollaborationNetwork(options, &rng);
+  return SuperTree(BuildVertexScalarTree(
+      g, VertexScalarField::FromCounts("KC", CoreNumbers(g))));
+}
+
+void BM_Layout_SliceDice(benchmark::State& state) {
+  const SuperTree tree = BenchTree(static_cast<uint32_t>(state.range(0)));
+  TerrainLayoutOptions options;
+  options.split = SplitPolicy::kSliceDice;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(BuildTerrainLayout(tree, options));
+  state.counters["super_nodes"] = tree.NumNodes();
+}
+BENCHMARK(BM_Layout_SliceDice)->Range(1 << 12, 1 << 16);
+
+void BM_Layout_Balanced(benchmark::State& state) {
+  const SuperTree tree = BenchTree(static_cast<uint32_t>(state.range(0)));
+  TerrainLayoutOptions options;
+  options.split = SplitPolicy::kBalanced;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(BuildTerrainLayout(tree, options));
+  state.counters["super_nodes"] = tree.NumNodes();
+}
+BENCHMARK(BM_Layout_Balanced)->Range(1 << 12, 1 << 16);
+
+void BM_Rasterize(benchmark::State& state) {
+  const SuperTree tree = BenchTree(1 << 14);
+  const TerrainLayout layout = BuildTerrainLayout(tree);
+  RasterOptions options;
+  options.width = static_cast<uint32_t>(state.range(0));
+  options.height = options.width;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(RasterizeTerrain(layout, options));
+  state.SetItemsProcessed(state.iterations() * options.width * options.width);
+}
+BENCHMARK(BM_Rasterize)->RangeMultiplier(2)->Range(128, 1024);
+
+void BM_RenderOblique(benchmark::State& state) {
+  const SuperTree tree = BenchTree(1 << 14);
+  const TerrainLayout layout = BuildTerrainLayout(tree);
+  RasterOptions raster;
+  raster.width = static_cast<uint32_t>(state.range(0));
+  raster.height = raster.width;
+  const HeightField field = RasterizeTerrain(layout, raster);
+  const auto colors = HeightColors(tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RenderOblique(field, colors, Camera{}, 800, 600));
+  }
+}
+BENCHMARK(BM_RenderOblique)->RangeMultiplier(2)->Range(128, 512);
+
+void BM_RenderTopDown(benchmark::State& state) {
+  const SuperTree tree = BenchTree(1 << 14);
+  const TerrainLayout layout = BuildTerrainLayout(tree);
+  RasterOptions raster;
+  raster.width = static_cast<uint32_t>(state.range(0));
+  raster.height = raster.width;
+  const HeightField field = RasterizeTerrain(layout, raster);
+  const auto colors = HeightColors(tree);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(RenderTopDown(field, colors));
+}
+BENCHMARK(BM_RenderTopDown)->RangeMultiplier(2)->Range(128, 1024);
+
+}  // namespace
+}  // namespace graphscape

@@ -1,0 +1,40 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Table I: dataset properties. Prints the paper's numbers next to the
+// generated synthetic analogues (with the scale divisor used).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gen/datasets.h"
+#include "metrics/clustering.h"
+
+int main() {
+  using namespace graphscape;
+  bench::Banner("Table I — dataset properties",
+                "paper Table I (8 SNAP datasets; synthetic analogues here)");
+
+  std::printf("%-11s %12s %12s %6s %12s %12s %8s\n", "Dataset", "paper_nodes",
+              "paper_edges", "1/div", "gen_nodes", "gen_edges", "avg_cc");
+  for (DatasetId id : AllDatasetIds()) {
+    DatasetOptions options;
+    if (bench::FullScale()) options.scale_divisor = 1;
+    const Dataset ds = MakeDataset(id, options);
+    // Average clustering on a sample-size-bounded graph is cheap enough for
+    // everything but the largest; report it as the structural fingerprint.
+    const double cc = ds.graph.NumEdges() < 5'000'000
+                          ? AverageClusteringCoefficient(ds.graph)
+                          : -1.0;
+    std::printf("%-11s %12llu %12llu %6u %12u %12u %8.3f\n", ds.spec.name,
+                static_cast<unsigned long long>(ds.spec.paper_nodes),
+                static_cast<unsigned long long>(ds.spec.paper_edges),
+                ds.scale_divisor, ds.graph.NumVertices(), ds.graph.NumEdges(),
+                cc);
+  }
+  std::printf("\nshape check: collaboration networks (GrQc/PPI/Astro/DBLP/"
+              "Amazon) show high clustering;\nvote/link/citation graphs "
+              "(WikiVote/Wikipedia/Cit-Patent) show heavy-tailed low-"
+              "clustering structure.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared helpers for the figure/table benches: output directory handling
+// and uniform banner printing so every bench reads the same way.
+
+#ifndef GRAPHSCAPE_BENCH_BENCH_UTIL_H_
+#define GRAPHSCAPE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace graphscape {
+namespace bench {
+
+/// Artifact directory: $GRAPHSCAPE_BENCH_OUT or ./bench_artifacts.
+inline std::string OutputDir() {
+  const char* env = std::getenv("GRAPHSCAPE_BENCH_OUT");
+  const std::string dir = env != nullptr ? env : "bench_artifacts";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// True when the caller asked for paper-scale datasets
+/// ($GRAPHSCAPE_FULL_SCALE=1); default is the scaled-down registry sizes.
+inline bool FullScale() {
+  const char* env = std::getenv("GRAPHSCAPE_FULL_SCALE");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void Banner(const char* experiment, const char* paper_content) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  reproduces: %s\n", paper_content);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace bench
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_BENCH_BENCH_UTIL_H_
