@@ -7,8 +7,10 @@
 #ifndef GRAPHSCAPE_BENCH_BENCH_UTIL_H_
 #define GRAPHSCAPE_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -21,14 +23,30 @@ inline std::string OutputDir() {
   const std::string dir = env != nullptr ? env : "bench_artifacts";
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr,
+                 "bench_util: failed to create output dir '%s': %s\n",
+                 dir.c_str(), ec.message().c_str());
+  }
   return dir;
 }
 
 /// True when the caller asked for paper-scale datasets
-/// ($GRAPHSCAPE_FULL_SCALE=1); default is the scaled-down registry sizes.
+/// ($GRAPHSCAPE_FULL_SCALE set to 1/true/yes, case-insensitive); default is
+/// the scaled-down registry sizes.
 inline bool FullScale() {
   const char* env = std::getenv("GRAPHSCAPE_FULL_SCALE");
-  return env != nullptr && env[0] == '1';
+  if (env == nullptr) return false;
+  const std::string value = env;
+  auto iequals = [&value](const char* expected) {
+    if (value.size() != std::strlen(expected)) return false;
+    for (size_t i = 0; i < value.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(value[i])) != expected[i])
+        return false;
+    }
+    return true;
+  };
+  return iequals("1") || iequals("true") || iequals("yes");
 }
 
 inline void Banner(const char* experiment, const char* paper_content) {

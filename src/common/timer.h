@@ -1,0 +1,31 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Wall-clock timer for bench banners and coarse phase timing.
+
+#ifndef GRAPHSCAPE_COMMON_TIMER_H_
+#define GRAPHSCAPE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace graphscape {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_COMMON_TIMER_H_

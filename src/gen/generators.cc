@@ -1,0 +1,143 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace graphscape {
+
+Graph BarabasiAlbert(uint32_t num_vertices, uint32_t edges_per_vertex,
+                     Rng* rng) {
+  const uint32_t m = std::max(1u, edges_per_vertex);
+  const uint32_t n = std::max(num_vertices, m + 1);
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(n) * m);
+
+  // `targets` holds one entry per edge endpoint; sampling it uniformly is
+  // sampling vertices proportionally to degree (the classic repeated-nodes
+  // trick, O(1) per attachment).
+  std::vector<VertexId> targets;
+  targets.reserve(2 * static_cast<size_t>(n) * m);
+
+  // Seed clique on the first m + 1 vertices.
+  for (uint32_t u = 0; u <= m; ++u) {
+    for (uint32_t v = u + 1; v <= m; ++v) {
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> picked(m);
+  for (uint32_t v = m + 1; v < n; ++v) {
+    // Sample m distinct endpoints by degree; retry collisions (rare for
+    // m << n) with a linear dedup over the m picks.
+    uint32_t count = 0;
+    while (count < m) {
+      const VertexId t =
+          targets[rng->UniformInt(static_cast<uint32_t>(targets.size()))];
+      bool seen = false;
+      for (uint32_t i = 0; i < count; ++i) seen |= (picked[i] == t);
+      if (!seen) picked[count++] = t;
+    }
+    for (uint32_t i = 0; i < m; ++i) {
+      builder.AddEdge(v, picked[i]);
+      targets.push_back(v);
+      targets.push_back(picked[i]);
+    }
+  }
+  return builder.Build();
+}
+
+Graph ErdosRenyi(uint32_t num_vertices, double edge_probability, Rng* rng) {
+  GraphBuilder builder(num_vertices);
+  const double p = std::min(std::max(edge_probability, 0.0), 1.0);
+  if (p <= 0.0 || num_vertices < 2) return builder.Build();
+  if (p >= 1.0) {
+    for (uint32_t u = 0; u < num_vertices; ++u)
+      for (uint32_t v = u + 1; v < num_vertices; ++v) builder.AddEdge(u, v);
+    return builder.Build();
+  }
+
+  // Walk the flattened upper triangle with geometric jumps: the gap to the
+  // next present edge is floor(log(U) / log(1 - p)).
+  const double log_q = std::log1p(-p);
+  const uint64_t total =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  uint64_t index = 0;
+  while (true) {
+    const double u = std::max(rng->UniformDouble(), 1e-300);
+    index += 1 + static_cast<uint64_t>(std::log(u) / log_q);
+    if (index > total) break;
+    // Map 1-based flat index back to (row, col) in the upper triangle.
+    const uint64_t i = index - 1;
+    const double nf = static_cast<double>(num_vertices);
+    uint64_t row = static_cast<uint64_t>(
+        nf - 2 - std::floor(std::sqrt(-8.0 * static_cast<double>(i) +
+                                      4.0 * nf * (nf - 1) - 7.0) /
+                                2.0 -
+                            0.5));
+    // Float round-off can land one row off; nudge into place.
+    auto row_start = [num_vertices](uint64_t r) {
+      return r * num_vertices - r * (r + 1) / 2;
+    };
+    while (row > 0 && row_start(row) > i) --row;
+    while (row_start(row + 1) <= i) ++row;
+    const uint64_t col = row + 1 + (i - row_start(row));
+    builder.AddEdge(static_cast<VertexId>(row), static_cast<VertexId>(col));
+  }
+  return builder.Build();
+}
+
+Graph CollaborationNetwork(const CollaborationOptions& options, Rng* rng) {
+  const uint32_t n = options.num_vertices;
+  GraphBuilder builder(n);
+  if (n < 2) return builder.Build();
+  const uint32_t groups =
+      options.num_groups > 0 ? options.num_groups : std::max(1u, n / 8);
+
+  // Group membership: every vertex joins one primary group, and a third of
+  // vertices moonlight in a second one (overlapping communities).
+  std::vector<std::vector<VertexId>> members(groups);
+  for (VertexId v = 0; v < n; ++v) {
+    members[rng->UniformInt(groups)].push_back(v);
+    if (rng->UniformInt(3) == 0) members[rng->UniformInt(groups)].push_back(v);
+  }
+
+  // Near-clique wiring inside each group — this is where the triangles and
+  // community structure come from.
+  for (const auto& group : members) {
+    for (size_t i = 0; i + 1 < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        if (rng->UniformDouble() < options.within_group_probability) {
+          builder.AddEdge(group[i], group[j]);
+        }
+      }
+    }
+  }
+
+  // Sparse random cross-links keep the graph (mostly) connected.
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t k = 0; k < options.random_links_per_vertex; ++k) {
+      builder.AddEdge(v, rng->UniformInt(n));
+    }
+  }
+
+  // Planted cliques: guaranteed dense subgraphs for the peeling metrics.
+  const uint32_t core_size = std::min(options.planted_core_size, n);
+  for (uint32_t c = 0; c < options.num_planted_cores && core_size >= 2; ++c) {
+    std::vector<VertexId> core(core_size);
+    for (auto& v : core) v = rng->UniformInt(n);
+    for (uint32_t i = 0; i + 1 < core_size; ++i)
+      for (uint32_t j = i + 1; j < core_size; ++j)
+        builder.AddEdge(core[i], core[j]);
+  }
+  return builder.Build();
+}
+
+}  // namespace graphscape

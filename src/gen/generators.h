@@ -1,0 +1,46 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Synthetic graph generators for the microbenches and tests. All are
+// deterministic given the caller's Rng, so bench trajectories are
+// reproducible run to run.
+
+#ifndef GRAPHSCAPE_GEN_GENERATORS_H_
+#define GRAPHSCAPE_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace graphscape {
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+/// Produces the heavy-tailed degree distributions the paper's terrains are
+/// rendered over. Connected by construction.
+Graph BarabasiAlbert(uint32_t num_vertices, uint32_t edges_per_vertex,
+                     Rng* rng);
+
+/// Erdős–Rényi G(n, p) via geometric edge skipping — O(n + m) regardless of
+/// how small p is.
+Graph ErdosRenyi(uint32_t num_vertices, double edge_probability, Rng* rng);
+
+/// Clustered "collaboration network": vertices join small groups wired as
+/// near-cliques (triangle-rich, community structure) with sparse random
+/// cross-links, plus optional planted cliques so K-Core / K-Truss peeling
+/// has dense structures to find — the shape of the paper's DBLP/GrQc data.
+struct CollaborationOptions {
+  uint32_t num_vertices = 0;
+  uint32_t num_groups = 0;          ///< 0 means num_vertices / 8.
+  uint32_t num_planted_cores = 0;   ///< dense cliques planted on top
+  uint32_t planted_core_size = 0;
+  double within_group_probability = 0.6;
+  uint32_t random_links_per_vertex = 1;
+};
+
+Graph CollaborationNetwork(const CollaborationOptions& options, Rng* rng);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_GEN_GENERATORS_H_

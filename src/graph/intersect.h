@@ -1,0 +1,65 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Merge-intersections of sorted CSR adjacency runs — the one inner loop all
+// triangle-adjacent kernels (triangles, K-Truss, nucleus) share. Sequential
+// pointer walks only; no binary search, no allocation.
+
+#ifndef GRAPHSCAPE_GRAPH_INTERSECT_H_
+#define GRAPHSCAPE_GRAPH_INTERSECT_H_
+
+#include <algorithm>
+
+#include "graph/graph.h"
+
+namespace graphscape {
+
+/// Calls on_vertex(w) for every w adjacent to both u and v, ascending.
+template <typename OnVertex>
+inline void ForEachCommonNeighbor(const Graph& g, VertexId u, VertexId v,
+                                  OnVertex&& on_vertex) {
+  const Graph::NeighborRange ru = g.Neighbors(u);
+  const Graph::NeighborRange rv = g.Neighbors(v);
+  const VertexId* a = ru.begin();
+  const VertexId* b = rv.begin();
+  while (a != ru.end() && b != rv.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      on_vertex(*a);
+      ++a;
+      ++b;
+    }
+  }
+}
+
+/// Calls on_vertex(d) for every d adjacent to all of a, b, and c, ascending.
+template <typename OnVertex>
+inline void ForEachCommonNeighbor(const Graph& g, VertexId a, VertexId b,
+                                  VertexId c, OnVertex&& on_vertex) {
+  const Graph::NeighborRange ra = g.Neighbors(a);
+  const Graph::NeighborRange rb = g.Neighbors(b);
+  const Graph::NeighborRange rc = g.Neighbors(c);
+  const VertexId* pa = ra.begin();
+  const VertexId* pb = rb.begin();
+  const VertexId* pc = rc.begin();
+  while (pa != ra.end() && pb != rb.end() && pc != rc.end()) {
+    if (*pa == *pb && *pb == *pc) {
+      on_vertex(*pa);
+      ++pa;
+      ++pb;
+      ++pc;
+      continue;
+    }
+    const VertexId hi = std::max({*pa, *pb, *pc});
+    while (pa != ra.end() && *pa < hi) ++pa;
+    while (pb != rb.end() && *pb < hi) ++pb;
+    while (pc != rc.end() && *pc < hi) ++pc;
+  }
+}
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_GRAPH_INTERSECT_H_

@@ -1,0 +1,77 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "metrics/centrality.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace graphscape {
+
+std::vector<double> BetweennessCentrality(const Graph& g,
+                                          const BetweennessOptions& options) {
+  const uint32_t n = g.NumVertices();
+  std::vector<double> centrality(n, 0.0);
+  if (n == 0) return centrality;
+
+  const bool exact = options.num_samples >= n;
+  const uint32_t samples = exact ? n : options.num_samples;
+  const double scale =
+      (exact ? 1.0 : static_cast<double>(n) / samples) * 0.5;
+
+  // Sources: all vertices when exact, otherwise a uniform sample without
+  // replacement (partial Fisher-Yates over the id array).
+  std::vector<VertexId> sources(n);
+  std::iota(sources.begin(), sources.end(), 0u);
+  if (!exact) {
+    Rng rng(options.seed);
+    for (uint32_t i = 0; i < samples; ++i) {
+      const uint32_t j = i + rng.UniformInt(n - i);
+      std::swap(sources[i], sources[j]);
+    }
+    sources.resize(samples);
+  }
+
+  // Flat per-BFS state, reused across sources.
+  std::vector<VertexId> queue(n);
+  std::vector<VertexId> stack_order(n);
+  std::vector<int64_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+
+  for (const VertexId s : sources) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    uint32_t head = 0, tail = 0;
+    queue[tail++] = s;
+    uint32_t visited = 0;
+    while (head < tail) {
+      const VertexId v = queue[head++];
+      stack_order[visited++] = v;
+      for (const VertexId u : g.Neighbors(v)) {
+        if (dist[u] < 0) {
+          dist[u] = dist[v] + 1;
+          queue[tail++] = u;
+        }
+        if (dist[u] == dist[v] + 1) sigma[u] += sigma[v];
+      }
+    }
+    // Dependency accumulation in reverse BFS order.
+    for (uint32_t i = visited; i-- > 0;) {
+      const VertexId v = stack_order[i];
+      for (const VertexId u : g.Neighbors(v)) {
+        if (dist[u] == dist[v] + 1) {
+          delta[v] += sigma[v] / sigma[u] * (1.0 + delta[u]);
+        }
+      }
+      if (v != s) centrality[v] += delta[v] * scale;
+    }
+  }
+  return centrality;
+}
+
+}  // namespace graphscape

@@ -1,0 +1,30 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Betweenness centrality via Brandes' dependency accumulation on sampled
+// BFS sources (unweighted). With num_samples >= n it degenerates to the
+// exact algorithm; otherwise each sampled source's contribution is scaled
+// by n / num_samples, the standard unbiased estimator.
+
+#ifndef GRAPHSCAPE_METRICS_CENTRALITY_H_
+#define GRAPHSCAPE_METRICS_CENTRALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphscape {
+
+struct BetweennessOptions {
+  uint32_t num_samples = 64;  ///< >= NumVertices() means exact (all sources).
+  uint64_t seed = 1;
+};
+
+/// Undirected betweenness (each unordered pair counted once).
+std::vector<double> BetweennessCentrality(
+    const Graph& g, const BetweennessOptions& options = {});
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_METRICS_CENTRALITY_H_

@@ -1,0 +1,30 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "metrics/kcore.h"
+
+#include "common/bucket_peel.h"
+
+namespace graphscape {
+
+std::vector<uint32_t> CoreNumbers(const Graph& g) {
+  const uint32_t n = g.NumVertices();
+  // Degrees double as the live support array; core[v] is v's degree at the
+  // moment it is peeled.
+  std::vector<uint32_t> degree(n);
+  for (uint32_t v = 0; v < n; ++v) degree[v] = g.Degree(v);
+  BucketPeeler peeler(&degree);
+
+  std::vector<uint32_t> core(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t v = peeler.ItemAt(i);
+    const uint32_t level = degree[v];
+    core[v] = level;
+    // Already-peeled neighbors sit at their (lower) peel level, so the
+    // floor makes demotion skip them.
+    for (const VertexId u : g.Neighbors(v)) peeler.Demote(u, level);
+  }
+  return core;
+}
+
+}  // namespace graphscape

@@ -1,0 +1,26 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// K-Core decomposition — the paper's workhorse vertex scalar field (§III).
+//
+// Batagelj–Zaversnik bucket peeling: vertices bin-sorted by degree, peeled
+// in nondecreasing order, each neighbor demotion is an O(1) swap inside the
+// flat position/bucket arrays. O(n + m) total, four uint32 arrays, no heap
+// traffic after setup.
+
+#ifndef GRAPHSCAPE_METRICS_KCORE_H_
+#define GRAPHSCAPE_METRICS_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphscape {
+
+/// core[v] = largest k such that v belongs to the k-core.
+std::vector<uint32_t> CoreNumbers(const Graph& g);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_METRICS_KCORE_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// (3,4)-nucleus decomposition (Sariyuce et al.), the top rung of the
+// paper's dense-subgraph ladder: triangles are the cells, 4-cliques supply
+// the support. Peeling mirrors K-Truss one level up — remove the
+// minimum-support triangle, demote the other three triangles of every
+// 4-clique it completed, provided that clique is still intact.
+
+#ifndef GRAPHSCAPE_METRICS_NUCLEUS_H_
+#define GRAPHSCAPE_METRICS_NUCLEUS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphscape {
+
+struct NucleusDecomposition {
+  /// Each triangle as an ascending vertex triple.
+  std::vector<std::array<VertexId, 3>> triangles;
+  /// nucleus_numbers[t] = 4-clique support of triangle t when peeled.
+  std::vector<uint32_t> nucleus_numbers;
+};
+
+/// Requires g.NumVertices() < 2^21 (triple keys pack into 64 bits);
+/// throws std::invalid_argument otherwise, in every build type.
+NucleusDecomposition Nucleus34(const Graph& g);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_METRICS_NUCLEUS_H_

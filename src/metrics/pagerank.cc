@@ -1,0 +1,39 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "metrics/pagerank.h"
+
+#include <cmath>
+
+namespace graphscape {
+
+std::vector<double> PageRank(const Graph& g, const PageRankOptions& options) {
+  const uint32_t n = g.NumVertices();
+  if (n == 0) return {};
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, inv_n);
+  std::vector<double> next(n, 0.0);
+
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (g.Degree(v) == 0) dangling += rank[v];
+    }
+    const double base = (1.0 - options.damping) * inv_n +
+                        options.damping * dangling * inv_n;
+    for (uint32_t v = 0; v < n; ++v) next[v] = base;
+    for (uint32_t v = 0; v < n; ++v) {
+      const uint32_t d = g.Degree(v);
+      if (d == 0) continue;
+      const double share = options.damping * rank[v] / d;
+      for (const VertexId u : g.Neighbors(v)) next[u] += share;
+    }
+    double delta = 0.0;
+    for (uint32_t v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace graphscape

@@ -1,0 +1,30 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// PageRank over the undirected graph (each edge walked both ways) by power
+// iteration on two flat double arrays. Isolated vertices act as dangling
+// nodes: their mass is redistributed uniformly so the vector keeps summing
+// to 1.
+
+#ifndef GRAPHSCAPE_METRICS_PAGERANK_H_
+#define GRAPHSCAPE_METRICS_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphscape {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  uint32_t max_iterations = 50;
+  double tolerance = 1e-10;  ///< L1 change threshold for early exit.
+};
+
+std::vector<double> PageRank(const Graph& g,
+                             const PageRankOptions& options = {});
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_METRICS_PAGERANK_H_

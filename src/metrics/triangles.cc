@@ -1,0 +1,53 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "metrics/triangles.h"
+
+#include "graph/intersect.h"
+
+namespace graphscape {
+namespace {
+
+// Degree order with id tie-break; orienting edges low -> high makes the
+// out-degree of every vertex O(sqrt(m)) on any graph.
+inline bool Before(const std::vector<uint32_t>& deg, VertexId a, VertexId b) {
+  return deg[a] < deg[b] || (deg[a] == deg[b] && a < b);
+}
+
+template <typename OnTriangle>
+void ForEachTriangle(const Graph& g, OnTriangle&& on_triangle) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> deg(n);
+  for (uint32_t v = 0; v < n; ++v) deg[v] = g.Degree(v);
+
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : g.Neighbors(u)) {
+      if (!Before(deg, u, v)) continue;
+      // Keep only w "after" v so each triangle fires once, from its
+      // degree-least vertex u.
+      ForEachCommonNeighbor(g, u, v, [&](VertexId w) {
+        if (Before(deg, v, w)) on_triangle(u, v, w);
+      });
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t CountTriangles(const Graph& g) {
+  uint64_t count = 0;
+  ForEachTriangle(g, [&count](VertexId, VertexId, VertexId) { ++count; });
+  return count;
+}
+
+std::vector<uint32_t> VertexTriangleCounts(const Graph& g) {
+  std::vector<uint32_t> counts(g.NumVertices(), 0);
+  ForEachTriangle(g, [&counts](VertexId a, VertexId b, VertexId c) {
+    ++counts[a];
+    ++counts[b];
+    ++counts[c];
+  });
+  return counts;
+}
+
+}  // namespace graphscape

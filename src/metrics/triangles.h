@@ -1,0 +1,26 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Triangle counting via degree-ordered forward intersection: each triangle
+// {a, b, c} is found exactly once from its lowest-order vertex, and every
+// intersection is a merge of two sorted CSR runs — sequential reads only.
+
+#ifndef GRAPHSCAPE_METRICS_TRIANGLES_H_
+#define GRAPHSCAPE_METRICS_TRIANGLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphscape {
+
+/// Total number of triangles in g.
+uint64_t CountTriangles(const Graph& g);
+
+/// Per-vertex triangle participation counts.
+std::vector<uint32_t> VertexTriangleCounts(const Graph& g);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_METRICS_TRIANGLES_H_

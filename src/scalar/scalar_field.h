@@ -1,0 +1,64 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// A named scalar field over graph vertices (paper §II-A): one double per
+// vertex, e.g. K-Core numbers, PageRank, or an arbitrary attribute column.
+
+#ifndef GRAPHSCAPE_SCALAR_SCALAR_FIELD_H_
+#define GRAPHSCAPE_SCALAR_SCALAR_FIELD_H_
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphscape {
+
+class VertexScalarField {
+ public:
+  /// Values must all be finite: NaN would break the strict weak ordering
+  /// Algorithm 1 sorts by, and infinities break level quantization — both
+  /// silently, so the constructor rejects them up front in every build
+  /// type (throws std::invalid_argument).
+  VertexScalarField(std::string name, std::vector<double> values)
+      : name_(std::move(name)), values_(std::move(values)) {
+    min_ = max_ = values_.empty() ? 0.0 : values_[0];
+    for (const double v : values_) {
+      if (!std::isfinite(v)) {
+        throw std::invalid_argument("VertexScalarField '" + name_ +
+                                    "': values must be finite");
+      }
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+  }
+
+  /// Lifts an integer metric (core numbers, truss numbers, ...) to a field.
+  template <typename Count>
+  static VertexScalarField FromCounts(std::string name,
+                                      const std::vector<Count>& counts) {
+    std::vector<double> values(counts.begin(), counts.end());
+    return VertexScalarField(std::move(name), std::move(values));
+  }
+
+  const std::string& Name() const { return name_; }
+  uint32_t Size() const { return static_cast<uint32_t>(values_.size()); }
+  double operator[](VertexId v) const { return values_[v]; }
+  const std::vector<double>& Values() const { return values_; }
+  double MinValue() const { return min_; }
+  double MaxValue() const { return max_; }
+
+ private:
+  std::string name_;
+  std::vector<double> values_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_SCALAR_SCALAR_FIELD_H_

@@ -1,0 +1,90 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "scalar/scalar_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace graphscape {
+namespace {
+
+// Path-halving find: every probe shortcuts grandparent links, so repeated
+// finds flatten the forest without a second pass. No recursion, no stack.
+inline uint32_t Find(uint32_t* uf, uint32_t x) {
+  while (uf[x] != x) {
+    uf[x] = uf[uf[x]];
+    x = uf[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+ScalarTree BuildVertexScalarTree(const Graph& g,
+                                 const VertexScalarField& field) {
+  const uint32_t n = g.NumVertices();
+  assert(field.Size() == n);
+  const std::vector<double>& values = field.Values();
+
+  // The single sort: vertices by (value, id). rank[v] is v's position in
+  // that order; comparing ranks is the total order used everywhere below.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&values](VertexId a, VertexId b) {
+    const double fa = values[a], fb = values[b];
+    return fa < fb || (fa == fb && a < b);
+  });
+  std::vector<uint32_t> rank(n);
+  for (uint32_t i = 0; i < n; ++i) rank[order[i]] = i;
+
+  // Union-find state + the tree arena, all sized up front. `head[r]` is the
+  // highest-rank vertex swept so far in the component rooted at r — the
+  // node the next merge will attach to.
+  std::vector<uint32_t> uf(n);
+  std::iota(uf.begin(), uf.end(), 0u);
+  std::vector<uint32_t> comp_size(n, 1);
+  std::vector<VertexId> head(n);
+  std::iota(head.begin(), head.end(), 0u);
+  std::vector<VertexId> parents(n, kInvalidVertex);
+
+  // Sweep. For w at rank k, every CSR neighbor u with rank[u] < k is exactly
+  // an edge whose activation key max(rank(u), rank(w)) == k; visiting w in
+  // rank order therefore processes all m edges in nondecreasing key order
+  // with no materialized edge array. This loop performs zero heap
+  // allocations.
+  uint32_t* const uf_data = uf.data();
+  uint32_t* const size_data = comp_size.data();
+  VertexId* const head_data = head.data();
+  VertexId* const parent_data = parents.data();
+  const uint32_t* const rank_data = rank.data();
+  for (uint32_t k = 0; k < n; ++k) {
+    const VertexId w = order[k];
+    uint32_t rw = Find(uf_data, w);
+    for (const VertexId u : g.Neighbors(w)) {
+      if (rank_data[u] >= k) continue;  // activates later, when u is higher
+      const uint32_t ru = Find(uf_data, u);
+      if (ru == rw) continue;
+      // The lower component's head merges into the sweep vertex w.
+      parent_data[head_data[ru]] = w;
+      // Union by size; the surviving root's head becomes w.
+      uint32_t big = rw, small = ru;
+      if (size_data[big] < size_data[small]) std::swap(big, small);
+      uf_data[small] = big;
+      size_data[big] += size_data[small];
+      head_data[big] = w;
+      rw = big;
+    }
+  }
+
+  uint32_t num_roots = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (parents[v] == kInvalidVertex) ++num_roots;
+  }
+
+  return ScalarTree(std::move(parents), std::vector<double>(values),
+                    std::move(order), num_roots);
+}
+
+}  // namespace graphscape

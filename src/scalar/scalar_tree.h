@@ -1,0 +1,76 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Algorithm 1 (paper §II-C): the vertex scalar tree.
+//
+// Every graph vertex is a tree node; Parent(v) is the vertex at which v's
+// level-set component merges into a higher one. Values are non-decreasing
+// toward the root: leaves are local minima of the field, each connected
+// component's root is its maximum. Ties are broken by vertex id, giving a
+// total order ("rank") and a deterministic tree for duplicate-heavy fields.
+//
+// Construction is engineered for the memory-bound reality of merge trees
+// (cf. TACHYON): ONE sort — vertices by (value, id) — then a union-find
+// sweep over edges in nondecreasing activation order. An edge {u, v}
+// activates at key max(rank(u), rank(v)); walking vertices in rank order and
+// scanning each one's CSR run enumerates edges already grouped and sorted by
+// that key, so the per-edge counting sort is implicit in the CSR layout and
+// costs zero extra passes. The sweep uses path-halving find with union by
+// size over three pre-sized flat uint32 arrays; tree nodes live in the
+// parallel arrays below (a struct-of-arrays arena) — no per-node heap
+// allocation anywhere in the loop.
+
+#ifndef GRAPHSCAPE_SCALAR_SCALAR_TREE_H_
+#define GRAPHSCAPE_SCALAR_SCALAR_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "scalar/scalar_field.h"
+
+namespace graphscape {
+
+class ScalarTree {
+ public:
+  ScalarTree() = default;
+  ScalarTree(std::vector<VertexId> parents, std::vector<double> values,
+             std::vector<VertexId> order, uint32_t num_roots)
+      : parents_(std::move(parents)),
+        values_(std::move(values)),
+        order_(std::move(order)),
+        num_roots_(num_roots) {}
+
+  /// One node per graph vertex.
+  uint32_t NumNodes() const { return static_cast<uint32_t>(parents_.size()); }
+
+  /// kInvalidVertex for roots (one per connected component).
+  VertexId Parent(VertexId v) const { return parents_[v]; }
+
+  double Value(VertexId v) const { return values_[v]; }
+
+  /// Number of roots == number of connected components of the graph.
+  uint32_t NumRoots() const { return num_roots_; }
+
+  const std::vector<VertexId>& Parents() const { return parents_; }
+  const std::vector<double>& Values() const { return values_; }
+
+  /// Vertices in ascending (value, id) order — the sweep order of
+  /// Algorithm 1. Parents always appear AFTER their children here, which is
+  /// what lets Algorithm 2 run as a single linear pass.
+  const std::vector<VertexId>& SweepOrder() const { return order_; }
+
+ private:
+  std::vector<VertexId> parents_;
+  std::vector<double> values_;
+  std::vector<VertexId> order_;
+  uint32_t num_roots_ = 0;
+};
+
+/// Algorithm 1. Requires field.Size() == g.NumVertices().
+ScalarTree BuildVertexScalarTree(const Graph& g,
+                                 const VertexScalarField& field);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_SCALAR_SCALAR_TREE_H_

@@ -1,0 +1,36 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// §II-E simplification: the persistence-threshold rendering knob.
+//
+// Snapping the field to L uniform levels before tree construction collapses
+// every topological feature whose persistence is below (max - min) / L —
+// same-level plateaus contract into single super nodes by Algorithm 2, so
+// the rendered tree size is bounded by the number of surviving level-set
+// components instead of n. Larger L keeps more detail; L = 1 yields one
+// super node per connected component.
+
+#ifndef GRAPHSCAPE_SCALAR_SIMPLIFY_H_
+#define GRAPHSCAPE_SCALAR_SIMPLIFY_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "scalar/scalar_field.h"
+#include "scalar/super_tree.h"
+
+namespace graphscape {
+
+/// Returns `field` snapped to `levels` uniform values across its range.
+/// levels == 0 is treated as 1. A constant field is returned unchanged.
+VertexScalarField QuantizeField(const VertexScalarField& field,
+                                uint32_t levels);
+
+/// Algorithm 1 + Algorithm 2 over the quantized field.
+SuperTree SimplifiedVertexSuperTree(const Graph& g,
+                                    const VertexScalarField& field,
+                                    uint32_t levels);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_SCALAR_SIMPLIFY_H_

@@ -1,0 +1,61 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Algorithm 2 (paper §II-D): the vertex super tree.
+//
+// Contracts every maximal same-value connected subtree of the scalar tree
+// into one super node, so a field with few distinct levels (K-Core, K-Truss,
+// integer attributes) collapses from n nodes to one node per level-set
+// component. Because ScalarTree::SweepOrder() lists parents after children,
+// the contraction is a single linear pass over vertices in reverse sweep
+// order: a vertex either joins its parent's super node (equal value) or
+// opens a new one whose parent is its parent's super node.
+
+#ifndef GRAPHSCAPE_SCALAR_SUPER_TREE_H_
+#define GRAPHSCAPE_SCALAR_SUPER_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "scalar/scalar_tree.h"
+
+namespace graphscape {
+
+inline constexpr uint32_t kInvalidSuperNode = 0xffffffffu;
+
+class SuperTree {
+ public:
+  SuperTree() = default;
+  explicit SuperTree(const ScalarTree& tree);
+
+  uint32_t NumNodes() const {
+    return static_cast<uint32_t>(node_values_.size());
+  }
+
+  /// kInvalidSuperNode for roots. Parent's value is strictly greater.
+  uint32_t Parent(uint32_t node) const { return node_parents_[node]; }
+
+  /// The shared scalar value of every vertex contracted into `node`.
+  double Value(uint32_t node) const { return node_values_[node]; }
+
+  /// How many graph vertices were contracted into `node`.
+  uint32_t MemberCount(uint32_t node) const { return member_counts_[node]; }
+
+  /// Super node containing vertex v.
+  uint32_t NodeOf(VertexId v) const { return node_of_[v]; }
+
+  /// One root per connected component of the underlying graph.
+  uint32_t NumRoots() const { return num_roots_; }
+
+ private:
+  std::vector<double> node_values_;
+  std::vector<uint32_t> node_parents_;
+  std::vector<uint32_t> member_counts_;
+  std::vector<uint32_t> node_of_;  // vertex -> super node
+  uint32_t num_roots_ = 0;
+};
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_SCALAR_SUPER_TREE_H_

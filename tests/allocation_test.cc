@@ -1,0 +1,67 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Enforces the arena discipline of Algorithm 1/2: the number of heap
+// allocations per build is a small constant (the up-front flat arrays),
+// independent of graph size — i.e., the sweep loop itself never allocates.
+// A per-node or per-edge allocation would make the count scale with n and
+// fail these bounds immediately.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "scalar/scalar_tree.h"
+#include "scalar/super_tree.h"
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace graphscape {
+namespace {
+
+uint64_t AllocationsDuringBuild(uint32_t n) {
+  Rng rng(42);
+  const Graph g = BarabasiAlbert(n, 4, &rng);
+  Rng field_rng(7);
+  std::vector<double> values(g.NumVertices());
+  for (auto& v : values) v = field_rng.UniformDouble();
+  const VertexScalarField field("f", values);
+
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  const SuperTree super(tree);
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_GT(super.NumNodes(), 0u);
+  return after - before;
+}
+
+TEST(AllocationDisciplineTest, BuildAllocationCountIsConstantInGraphSize) {
+  const uint64_t small = AllocationsDuringBuild(1 << 8);
+  const uint64_t large = AllocationsDuringBuild(1 << 14);
+  EXPECT_EQ(small, large)
+      << "allocation count scales with graph size - something allocates "
+         "inside the sweep loop";
+  // Algorithm 1's six flat arrays + the field copy + Algorithm 2's five;
+  // leave headroom for minor standard-library noise but stay well below
+  // anything per-node.
+  EXPECT_LE(large, 24u);
+}
+
+}  // namespace
+}  // namespace graphscape

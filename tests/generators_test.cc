@@ -1,0 +1,93 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "metrics/kcore.h"
+
+namespace graphscape {
+namespace {
+
+uint32_t CountComponents(const Graph& g) {
+  const uint32_t n = g.NumVertices();
+  std::vector<char> seen(n, 0);
+  std::vector<VertexId> queue;
+  uint32_t components = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    ++components;
+    seen[s] = 1;
+    queue.assign(1, s);
+    while (!queue.empty()) {
+      const VertexId v = queue.back();
+      queue.pop_back();
+      for (const VertexId u : g.Neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+TEST(BarabasiAlbertTest, ExactEdgeCountAndConnected) {
+  Rng rng(42);
+  const uint32_t n = 100, m = 3;
+  const Graph g = BarabasiAlbert(n, m, &rng);
+  EXPECT_EQ(g.NumVertices(), n);
+  // Seed clique on m+1 vertices plus m edges per later vertex, all distinct
+  // by construction.
+  EXPECT_EQ(g.NumEdges(), m * (m + 1) / 2 + (n - m - 1) * m);
+  EXPECT_EQ(CountComponents(g), 1u);
+  for (VertexId v = 0; v < n; ++v) EXPECT_GE(g.Degree(v), m);
+}
+
+TEST(BarabasiAlbertTest, DeterministicForSameSeed) {
+  Rng rng_a(7), rng_b(7);
+  const Graph a = BarabasiAlbert(64, 2, &rng_a);
+  const Graph b = BarabasiAlbert(64, 2, &rng_b);
+  EXPECT_EQ(a.Adjacency(), b.Adjacency());
+  EXPECT_EQ(a.Offsets(), b.Offsets());
+}
+
+TEST(ErdosRenyiTest, EdgeCountTracksProbability) {
+  Rng rng(13);
+  const uint32_t n = 200;
+  const Graph g = ErdosRenyi(n, 0.3, &rng);
+  const double expected = 0.3 * n * (n - 1) / 2.0;
+  EXPECT_GT(g.NumEdges(), expected * 0.85);
+  EXPECT_LT(g.NumEdges(), expected * 1.15);
+}
+
+TEST(ErdosRenyiTest, DegenerateProbabilities) {
+  Rng rng(1);
+  EXPECT_EQ(ErdosRenyi(50, 0.0, &rng).NumEdges(), 0u);
+  EXPECT_EQ(ErdosRenyi(10, 1.0, &rng).NumEdges(), 45u);
+}
+
+TEST(CollaborationNetworkTest, PlantedCoresAreDense) {
+  Rng rng(11);
+  CollaborationOptions options;
+  options.num_vertices = 512;
+  options.num_groups = 64;
+  options.num_planted_cores = 2;
+  options.planted_core_size = 24;
+  const Graph g = CollaborationNetwork(options, &rng);
+  EXPECT_EQ(g.NumVertices(), 512u);
+  const std::vector<uint32_t> core = CoreNumbers(g);
+  const uint32_t max_core = *std::max_element(core.begin(), core.end());
+  // The planted (near-)cliques guarantee a deep core; sampling collisions
+  // can shave a few vertices off the 24, hence the margin.
+  EXPECT_GE(max_core, 16u);
+}
+
+}  // namespace
+}  // namespace graphscape

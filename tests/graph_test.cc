@@ -1,0 +1,69 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace graphscape {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder;
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphBuilderTest, PacksTriangleIntoCsr) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);  // duplicate, reversed
+  builder.AddEdge(0, 1);  // duplicate
+  builder.AddEdge(2, 2);  // self-loop
+  builder.AddEdge(2, 3);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Degree(2), 1u);
+}
+
+TEST(GraphBuilderTest, GrowsVertexCountFromEndpoints) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 7);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.NumVertices(), 8u);
+  EXPECT_EQ(g.Degree(5), 0u);
+}
+
+TEST(GraphTest, NeighborsAreSortedAscending) {
+  GraphBuilder builder(5);
+  builder.AddEdge(2, 4);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(2, 1);
+  const Graph g = builder.Build();
+  const Graph::NeighborRange r = g.Neighbors(2);
+  ASSERT_EQ(r.size(), 4u);
+  for (uint32_t i = 0; i + 1 < r.size(); ++i) EXPECT_LT(r[i], r[i + 1]);
+}
+
+}  // namespace
+}  // namespace graphscape

@@ -1,0 +1,157 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Algorithm 1 correctness on the paper's small hand-computable examples.
+// Orientation reminder: values are non-decreasing toward the root, leaves
+// are local minima, each component's root is its (value, id)-maximum.
+
+#include "scalar/scalar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace graphscape {
+namespace {
+
+Graph Path(uint32_t n) {
+  GraphBuilder builder(n);
+  for (uint32_t v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+Graph Star(uint32_t leaves) {
+  GraphBuilder builder(leaves + 1);
+  for (uint32_t v = 1; v <= leaves; ++v) builder.AddEdge(0, v);
+  return builder.Build();
+}
+
+TEST(ScalarTreeTest, MonotonePathIsAChain) {
+  const Graph g = Path(5);
+  const VertexScalarField field("f", {1.0, 2.0, 3.0, 4.0, 5.0});
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  ASSERT_EQ(tree.NumNodes(), 5u);
+  EXPECT_EQ(tree.Parent(0), 1u);
+  EXPECT_EQ(tree.Parent(1), 2u);
+  EXPECT_EQ(tree.Parent(2), 3u);
+  EXPECT_EQ(tree.Parent(3), 4u);
+  EXPECT_EQ(tree.Parent(4), kInvalidVertex);
+  EXPECT_EQ(tree.NumRoots(), 1u);
+}
+
+TEST(ScalarTreeTest, StarWithHighCenterFansIn) {
+  // Leaves are all local minima; the high-valued hub is the root.
+  const Graph g = Star(4);
+  const VertexScalarField field("f", {10.0, 1.0, 2.0, 3.0, 4.0});
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  for (VertexId v = 1; v <= 4; ++v) EXPECT_EQ(tree.Parent(v), 0u);
+  EXPECT_EQ(tree.Parent(0), kInvalidVertex);
+}
+
+TEST(ScalarTreeTest, StarWithLowCenterIsAChain) {
+  // Only the hub is a local minimum; leaves chain through it in value
+  // order because each leaf's component head moves up the sweep.
+  const Graph g = Star(4);
+  const VertexScalarField field("f", {0.0, 1.0, 2.0, 3.0, 4.0});
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  EXPECT_EQ(tree.Parent(0), 1u);
+  EXPECT_EQ(tree.Parent(1), 2u);
+  EXPECT_EQ(tree.Parent(2), 3u);
+  EXPECT_EQ(tree.Parent(3), 4u);
+  EXPECT_EQ(tree.Parent(4), kInvalidVertex);
+}
+
+TEST(ScalarTreeTest, TwoPeakPathMergesAtTheSaddleSweep) {
+  // Path 0-1-2-3-4 with peaks at vertices 1 and 3; the valley vertices
+  // 0, 2, 4 are leaves (local minima).
+  const Graph g = Path(5);
+  const VertexScalarField field("f", {1.0, 5.0, 2.0, 6.0, 3.0});
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  EXPECT_EQ(tree.Parent(0), 1u);
+  EXPECT_EQ(tree.Parent(2), 1u);
+  EXPECT_EQ(tree.Parent(1), 3u);
+  EXPECT_EQ(tree.Parent(4), 3u);
+  EXPECT_EQ(tree.Parent(3), kInvalidVertex);
+  EXPECT_EQ(tree.NumRoots(), 1u);
+}
+
+TEST(ScalarTreeTest, DuplicateValuesTieBreakById) {
+  // A constant field must still produce a deterministic chain: the id
+  // tie-break makes vertex ids the sweep order.
+  const Graph g = Path(4);
+  const VertexScalarField field("f", {7.0, 7.0, 7.0, 7.0});
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  EXPECT_EQ(tree.Parent(0), 1u);
+  EXPECT_EQ(tree.Parent(1), 2u);
+  EXPECT_EQ(tree.Parent(2), 3u);
+  EXPECT_EQ(tree.Parent(3), kInvalidVertex);
+}
+
+TEST(ScalarTreeTest, DisconnectedGraphYieldsForest) {
+  // Components {0,1} and {2,3}; each gets its own root at its maximum.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  const Graph g = builder.Build();
+  const VertexScalarField field("f", {1.0, 2.0, 4.0, 3.0});
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  EXPECT_EQ(tree.Parent(0), 1u);
+  EXPECT_EQ(tree.Parent(1), kInvalidVertex);
+  EXPECT_EQ(tree.Parent(3), 2u);
+  EXPECT_EQ(tree.Parent(2), kInvalidVertex);
+  EXPECT_EQ(tree.NumRoots(), 2u);
+}
+
+TEST(ScalarTreeTest, IsolatedVertexIsItsOwnRoot) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build();
+  const VertexScalarField field("f", {1.0, 2.0, 5.0});
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  EXPECT_EQ(tree.Parent(2), kInvalidVertex);
+  EXPECT_EQ(tree.NumRoots(), 2u);
+}
+
+TEST(ScalarTreeTest, FieldRejectsNonFiniteValues) {
+  // NaN would break the sort's strict weak ordering (UB in std::sort) and
+  // infinities break quantization, so the field guards at construction.
+  const std::vector<double> with_nan{1.0, std::nan(""), 2.0};
+  EXPECT_THROW(VertexScalarField("f", with_nan), std::invalid_argument);
+  const std::vector<double> with_inf{1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(VertexScalarField("f", with_inf), std::invalid_argument);
+}
+
+TEST(ScalarTreeTest, RandomGraphsSatisfyTreeInvariants) {
+  // Property check over random graphs and fields: values non-decreasing
+  // toward the root, exactly one root per connected component, and the
+  // sweep order lists every child before its parent.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const Graph g = BarabasiAlbert(400, 3, &rng);
+    std::vector<double> values(g.NumVertices());
+    for (auto& v : values) v = static_cast<double>(rng.UniformInt(17));
+    const VertexScalarField field("f", values);
+    const ScalarTree tree = BuildVertexScalarTree(g, field);
+
+    ASSERT_EQ(tree.NumNodes(), g.NumVertices());
+    EXPECT_EQ(tree.NumRoots(), 1u);  // BA graphs are connected
+    std::vector<uint32_t> position(g.NumVertices());
+    for (uint32_t i = 0; i < g.NumVertices(); ++i)
+      position[tree.SweepOrder()[i]] = i;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      const VertexId p = tree.Parent(v);
+      if (p == kInvalidVertex) continue;
+      EXPECT_GE(tree.Value(p), tree.Value(v));
+      EXPECT_GT(position[p], position[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphscape

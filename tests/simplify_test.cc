@@ -1,0 +1,77 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "scalar/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "scalar/scalar_tree.h"
+
+namespace graphscape {
+namespace {
+
+TEST(QuantizeFieldTest, BoundsDistinctValues) {
+  Rng rng(5);
+  std::vector<double> values(1000);
+  for (auto& v : values) v = rng.UniformDouble();
+  const VertexScalarField field("f", values);
+  for (const uint32_t levels : {1u, 4u, 16u}) {
+    const VertexScalarField snapped = QuantizeField(field, levels);
+    std::set<double> distinct(snapped.Values().begin(),
+                              snapped.Values().end());
+    EXPECT_LE(distinct.size(), levels);
+    EXPECT_GE(snapped.MinValue(), field.MinValue());
+    EXPECT_LE(snapped.MaxValue(), field.MaxValue());
+  }
+}
+
+TEST(QuantizeFieldTest, ConstantFieldUnchanged) {
+  const VertexScalarField field("f", std::vector<double>(10, 2.5));
+  const VertexScalarField snapped = QuantizeField(field, 8);
+  for (const double v : snapped.Values()) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(SimplifiedVertexSuperTreeTest, OneLevelCollapsesToComponents) {
+  GraphBuilder builder(7);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  // vertices 5, 6 isolated
+  const Graph g = builder.Build();
+  Rng rng(1);
+  std::vector<double> values(7);
+  for (auto& v : values) v = rng.UniformDouble();
+  const VertexScalarField field("f", values);
+  const SuperTree super = SimplifiedVertexSuperTree(g, field, 1);
+  EXPECT_EQ(super.NumNodes(), 4u);  // {0,1,2}, {3,4}, {5}, {6}
+  EXPECT_EQ(super.NumRoots(), 4u);
+}
+
+TEST(SimplifiedVertexSuperTreeTest, MoreLevelsKeepMoreNodes) {
+  Rng rng(9);
+  const Graph g = BarabasiAlbert(1 << 12, 4, &rng);
+  std::vector<double> values(g.NumVertices());
+  for (auto& v : values) v = rng.UniformDouble();
+  const VertexScalarField field("f", values);
+
+  const uint32_t full =
+      SuperTree(BuildVertexScalarTree(g, field)).NumNodes();
+  uint32_t previous = 0;
+  for (const uint32_t levels : {2u, 16u, 128u}) {
+    const uint32_t nodes =
+        SimplifiedVertexSuperTree(g, field, levels).NumNodes();
+    EXPECT_GE(nodes, previous);
+    EXPECT_LE(nodes, full);
+    previous = nodes;
+  }
+  EXPECT_EQ(full, g.NumVertices());  // continuous field: all distinct
+}
+
+}  // namespace
+}  // namespace graphscape

@@ -1,0 +1,119 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Algorithm 2: same-value chain contraction of the scalar tree.
+
+#include "scalar/super_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "metrics/kcore.h"
+#include "scalar/scalar_tree.h"
+
+namespace graphscape {
+namespace {
+
+Graph Path(uint32_t n) {
+  GraphBuilder builder(n);
+  for (uint32_t v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+TEST(SuperTreeTest, PlateausContractToOneNodePerLevel) {
+  // Path 0-1-2-3 with values [1,1,2,2]: two plateaus, two super nodes.
+  const Graph g = Path(4);
+  const VertexScalarField field("f", {1.0, 1.0, 2.0, 2.0});
+  const SuperTree super(BuildVertexScalarTree(g, field));
+  ASSERT_EQ(super.NumNodes(), 2u);
+  EXPECT_EQ(super.NodeOf(0), super.NodeOf(1));
+  EXPECT_EQ(super.NodeOf(2), super.NodeOf(3));
+  EXPECT_NE(super.NodeOf(0), super.NodeOf(2));
+
+  const uint32_t low = super.NodeOf(0);
+  const uint32_t high = super.NodeOf(2);
+  EXPECT_DOUBLE_EQ(super.Value(low), 1.0);
+  EXPECT_DOUBLE_EQ(super.Value(high), 2.0);
+  EXPECT_EQ(super.MemberCount(low), 2u);
+  EXPECT_EQ(super.MemberCount(high), 2u);
+  EXPECT_EQ(super.Parent(low), high);
+  EXPECT_EQ(super.Parent(high), kInvalidSuperNode);
+  EXPECT_EQ(super.NumRoots(), 1u);
+}
+
+TEST(SuperTreeTest, ConstantFieldCollapsesEachComponent) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  const Graph g = builder.Build();
+  const VertexScalarField field("f", std::vector<double>(6, 3.0));
+  const SuperTree super(BuildVertexScalarTree(g, field));
+  EXPECT_EQ(super.NumNodes(), 2u);
+  EXPECT_EQ(super.NumRoots(), 2u);
+  EXPECT_EQ(super.MemberCount(super.NodeOf(0)), 3u);
+  EXPECT_EQ(super.MemberCount(super.NodeOf(3)), 3u);
+}
+
+TEST(SuperTreeTest, DistinctValuesKeepEveryNode) {
+  const Graph g = Path(5);
+  const VertexScalarField field("f", {5.0, 1.0, 4.0, 2.0, 3.0});
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  const SuperTree super(tree);
+  EXPECT_EQ(super.NumNodes(), tree.NumNodes());
+}
+
+TEST(SuperTreeTest, KCoreFieldOnPlantedCliqueIsSmall) {
+  // A K-Core field has very few distinct levels, so the super tree must be
+  // dramatically smaller than the n-node scalar tree.
+  Rng rng(3);
+  CollaborationOptions options;
+  options.num_vertices = 300;
+  options.num_groups = 40;
+  options.num_planted_cores = 1;
+  options.planted_core_size = 16;
+  const Graph g = CollaborationNetwork(options, &rng);
+  const VertexScalarField field =
+      VertexScalarField::FromCounts("KC", CoreNumbers(g));
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  const SuperTree super(tree);
+  EXPECT_LT(super.NumNodes(), tree.NumNodes() / 2);
+}
+
+TEST(SuperTreeTest, NodeCountNeverExceedsScalarTree) {
+  // Property test from the issue: |super tree| <= |scalar tree|, member
+  // counts partition the vertices, and parents strictly increase in value.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const Graph g = BarabasiAlbert(300, 2, &rng);
+    std::vector<double> values(g.NumVertices());
+    for (auto& v : values)
+      v = static_cast<double>(rng.UniformInt(1 + 4 * static_cast<uint32_t>(seed)));
+    const VertexScalarField field("f", values);
+    const ScalarTree tree = BuildVertexScalarTree(g, field);
+    const SuperTree super(tree);
+
+    EXPECT_LE(super.NumNodes(), tree.NumNodes());
+    EXPECT_GE(super.NumNodes(), 1u);
+    uint64_t members = 0;
+    for (uint32_t node = 0; node < super.NumNodes(); ++node) {
+      members += super.MemberCount(node);
+      const uint32_t parent = super.Parent(node);
+      if (parent != kInvalidSuperNode) {
+        EXPECT_GT(super.Value(parent), super.Value(node));
+      }
+    }
+    EXPECT_EQ(members, g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_DOUBLE_EQ(super.Value(super.NodeOf(v)), field[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphscape
