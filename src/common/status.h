@@ -1,0 +1,98 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Minimal Status / StatusOr for operations that can fail for resource
+// reasons rather than programmer error — e.g. the naive dual-graph
+// edge-tree baseline, whose line graph is Θ(Σ deg²) and must be guarded
+// by a size cap instead of silently exhausting memory on hub-heavy
+// graphs. Deliberately tiny: two error codes cover every current caller;
+// grow it only when a new code is actually needed.
+
+#ifndef GRAPHSCAPE_COMMON_STATUS_H_
+#define GRAPHSCAPE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace graphscape {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kResourceExhausted,
+};
+
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    switch (code_) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "INVALID_ARGUMENT: " + message_;
+      case StatusCode::kResourceExhausted:
+        return "RESOURCE_EXHAUSTED: " + message_;
+    }
+    return "UNKNOWN";
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or the Status explaining its absence. value() asserts
+/// ok(); callers branch on ok() first (see bench_table2_construction.cpp).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)), has_value_(true) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr from Status requires an error");
+  }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(has_value_);
+    return value_;
+  }
+  T& value() & {
+    assert(has_value_);
+    return value_;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_COMMON_STATUS_H_

@@ -1,0 +1,71 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Tiny string helpers the figure/table benches lean on: printf-style
+// formatting into std::string, and human-readable durations for the
+// construction-time tables (Table II's tc/te/tv columns).
+
+#ifndef GRAPHSCAPE_COMMON_STRING_UTIL_H_
+#define GRAPHSCAPE_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace graphscape {
+
+/// printf into a std::string. Two-pass vsnprintf: the common short-output
+/// case formats straight into a stack buffer; longer output sizes exactly.
+inline std::string StrPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline std::string StrPrintf(const char* format, ...) {
+  char stack_buffer[256];
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed =
+      std::vsnprintf(stack_buffer, sizeof(stack_buffer), format, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  if (static_cast<size_t>(needed) < sizeof(stack_buffer)) {
+    va_end(args_copy);
+    return std::string(stack_buffer, static_cast<size_t>(needed));
+  }
+  std::string result(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(&result[0], result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+/// Renders a duration at the precision a human reading a results table
+/// wants: "1h02m", "2m03s", "3.45s", "12.30ms", "45.60us", "789ns".
+/// Non-positive durations render as "0s".
+inline std::string HumanSeconds(double seconds) {
+  if (seconds <= 0.0) return "0s";
+  if (seconds >= 3600.0) {
+    const uint64_t minutes = static_cast<uint64_t>(seconds / 60.0);
+    return StrPrintf("%lluh%02llum",
+                     static_cast<unsigned long long>(minutes / 60),
+                     static_cast<unsigned long long>(minutes % 60));
+  }
+  if (seconds >= 60.0) {
+    const uint64_t whole = static_cast<uint64_t>(seconds);
+    return StrPrintf("%llum%02llus",
+                     static_cast<unsigned long long>(whole / 60),
+                     static_cast<unsigned long long>(whole % 60));
+  }
+  if (seconds >= 1.0) return StrPrintf("%.2fs", seconds);
+  if (seconds >= 1e-3) return StrPrintf("%.2fms", seconds * 1e3);
+  if (seconds >= 1e-6) return StrPrintf("%.2fus", seconds * 1e6);
+  return StrPrintf("%.0fns", seconds * 1e9);
+}
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_COMMON_STRING_UTIL_H_

@@ -6,39 +6,10 @@
 #include <algorithm>
 
 #include "common/bucket_peel.h"
+#include "graph/edge_index.h"
 #include "graph/intersect.h"
 
 namespace graphscape {
-namespace {
-
-// Edge ids live on the directed CSR slots: slot_eid[s] is the undirected
-// edge id of the s-th adjacency entry. Built in one forward pass (u < v
-// mints the id) plus a binary-search copy for the reverse direction.
-std::vector<uint32_t> SlotEdgeIds(const Graph& g, uint32_t* num_edges) {
-  const uint32_t n = g.NumVertices();
-  const std::vector<uint32_t>& offsets = g.Offsets();
-  const std::vector<VertexId>& adj = g.Adjacency();
-  std::vector<uint32_t> slot_eid(adj.size());
-  uint32_t next = 0;
-  for (VertexId u = 0; u < n; ++u) {
-    for (uint32_t s = offsets[u]; s < offsets[u + 1]; ++s) {
-      const VertexId v = adj[s];
-      if (u < v) {
-        slot_eid[s] = next++;
-      } else {
-        // v < u, so v's run already minted the id; find u's slot in it.
-        const VertexId* lo = adj.data() + offsets[v];
-        const VertexId* hi = adj.data() + offsets[v + 1];
-        const VertexId* it = std::lower_bound(lo, hi, u);
-        slot_eid[s] = slot_eid[static_cast<uint32_t>(it - adj.data())];
-      }
-    }
-  }
-  *num_edges = next;
-  return slot_eid;
-}
-
-}  // namespace
 
 std::vector<std::pair<VertexId, VertexId>> EdgeList(const Graph& g) {
   std::vector<std::pair<VertexId, VertexId>> edges;
@@ -52,36 +23,15 @@ std::vector<std::pair<VertexId, VertexId>> EdgeList(const Graph& g) {
 }
 
 std::vector<uint32_t> TrussNumbers(const Graph& g) {
-  const uint32_t n = g.NumVertices();
-  const std::vector<uint32_t>& offsets = g.Offsets();
-  const std::vector<VertexId>& adj = g.Adjacency();
-  uint32_t m = 0;
-  const std::vector<uint32_t> slot_eid = SlotEdgeIds(g, &m);
-
-  // Endpoints per edge id.
-  std::vector<VertexId> eu(m), ev(m);
-  for (VertexId u = 0; u < n; ++u) {
-    for (uint32_t s = offsets[u]; s < offsets[u + 1]; ++s) {
-      if (u < adj[s]) {
-        eu[slot_eid[s]] = u;
-        ev[slot_eid[s]] = adj[s];
-      }
-    }
-  }
-
-  auto edge_id = [&](VertexId a, VertexId b) {
-    const VertexId x = std::min(a, b), y = std::max(a, b);
-    const VertexId* lo = adj.data() + offsets[x];
-    const VertexId* hi = adj.data() + offsets[x + 1];
-    const VertexId* it = std::lower_bound(lo, hi, y);
-    return slot_eid[static_cast<uint32_t>(it - adj.data())];
-  };
+  const EdgeIndex index(g);
+  const uint32_t m = index.NumEdges();
 
   // Support = triangles per edge.
   std::vector<uint32_t> support(m, 0);
   for (uint32_t e = 0; e < m; ++e) {
     uint32_t s = 0;
-    ForEachCommonNeighbor(g, eu[e], ev[e], [&s](VertexId) { ++s; });
+    ForEachCommonNeighbor(g, index.U(e), index.V(e),
+                          [&s](VertexId) { ++s; });
     support[e] = s;
   }
 
@@ -93,10 +43,10 @@ std::vector<uint32_t> TrussNumbers(const Graph& g) {
     const uint32_t level = support[e];
     truss[e] = level + 2;
     peeled[e] = 1;
-    const VertexId u = eu[e], v = ev[e];
+    const VertexId u = index.U(e), v = index.V(e);
     ForEachCommonNeighbor(g, u, v, [&](VertexId w) {
-      const uint32_t e1 = edge_id(u, w);
-      const uint32_t e2 = edge_id(v, w);
+      const uint32_t e1 = index.EdgeId(u, w);
+      const uint32_t e2 = index.EdgeId(v, w);
       // The triangle {u, v, w} only still supports e1/e2 if neither has
       // been peeled away already.
       if (!peeled[e1] && !peeled[e2]) {

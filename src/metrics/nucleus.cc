@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/bucket_peel.h"
+#include "graph/edge_index.h"
 #include "graph/intersect.h"
 
 namespace graphscape {
@@ -88,6 +89,22 @@ NucleusDecomposition Nucleus34(const Graph& g) {
     });
   }
   return result;
+}
+
+std::vector<uint32_t> NucleusEdgeNumbers(const Graph& g) {
+  const NucleusDecomposition decomposition = Nucleus34(g);
+  const EdgeIndex index(g);
+  std::vector<uint32_t> edge_values(index.NumEdges(), 0);
+  for (size_t i = 0; i < decomposition.triangles.size(); ++i) {
+    const auto& tri = decomposition.triangles[i];
+    const uint32_t value = decomposition.nucleus_numbers[i];
+    for (const uint32_t e : {index.EdgeId(tri[0], tri[1]),
+                             index.EdgeId(tri[0], tri[2]),
+                             index.EdgeId(tri[1], tri[2])}) {
+      edge_values[e] = std::max(edge_values[e], value);
+    }
+  }
+  return edge_values;
 }
 
 }  // namespace graphscape

@@ -29,6 +29,12 @@ struct NucleusDecomposition {
 /// throws std::invalid_argument otherwise, in every build type.
 NucleusDecomposition Nucleus34(const Graph& g);
 
+/// Nucleus values lifted from triangles to edges: for each edge (in
+/// EdgeList order), the maximum nucleus number over the triangles that
+/// contain it, 0 for triangle-free edges. This is the per-edge scalar
+/// field the paper's Fig. 7 dense-subgraph terrains consume.
+std::vector<uint32_t> NucleusEdgeNumbers(const Graph& g);
+
 }  // namespace graphscape
 
 #endif  // GRAPHSCAPE_METRICS_NUCLEUS_H_

@@ -1,8 +1,11 @@
 // Copyright 2026 The GraphScape Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// A named scalar field over graph vertices (paper §II-A): one double per
-// vertex, e.g. K-Core numbers, PageRank, or an arbitrary attribute column.
+// Named scalar fields over graph elements (paper §II-A): one double per
+// vertex (K-Core numbers, PageRank, attribute columns) or per edge
+// (trussness, nucleus values — see scalar/edge_scalar_tree.h). Both field
+// types share the checked storage below; they differ only in what their
+// index space means.
 
 #ifndef GRAPHSCAPE_SCALAR_SCALAR_FIELD_H_
 #define GRAPHSCAPE_SCALAR_SCALAR_FIELD_H_
@@ -17,25 +20,52 @@
 #include "graph/graph.h"
 
 namespace graphscape {
+namespace internal {
 
-class VertexScalarField {
+/// Shared storage + validation for vertex and edge fields. Values must
+/// all be finite: NaN would break the strict weak ordering the tree
+/// sweeps sort by, and infinities break level quantization — both
+/// silently, so the constructor rejects them up front in every build
+/// type (throws std::invalid_argument). `kind` names the concrete field
+/// type in the error message.
+class CheckedScalarField {
  public:
-  /// Values must all be finite: NaN would break the strict weak ordering
-  /// Algorithm 1 sorts by, and infinities break level quantization — both
-  /// silently, so the constructor rejects them up front in every build
-  /// type (throws std::invalid_argument).
-  VertexScalarField(std::string name, std::vector<double> values)
+  const std::string& Name() const { return name_; }
+  uint32_t Size() const { return static_cast<uint32_t>(values_.size()); }
+  double operator[](uint32_t i) const { return values_[i]; }
+  const std::vector<double>& Values() const { return values_; }
+  double MinValue() const { return min_; }
+  double MaxValue() const { return max_; }
+
+ protected:
+  CheckedScalarField(const char* kind, std::string name,
+                     std::vector<double> values)
       : name_(std::move(name)), values_(std::move(values)) {
     min_ = max_ = values_.empty() ? 0.0 : values_[0];
     for (const double v : values_) {
       if (!std::isfinite(v)) {
-        throw std::invalid_argument("VertexScalarField '" + name_ +
+        throw std::invalid_argument(std::string(kind) + " '" + name_ +
                                     "': values must be finite");
       }
       if (v < min_) min_ = v;
       if (v > max_) max_ = v;
     }
   }
+
+ private:
+  std::string name_;
+  std::vector<double> values_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace internal
+
+class VertexScalarField : public internal::CheckedScalarField {
+ public:
+  VertexScalarField(std::string name, std::vector<double> values)
+      : CheckedScalarField("VertexScalarField", std::move(name),
+                           std::move(values)) {}
 
   /// Lifts an integer metric (core numbers, truss numbers, ...) to a field.
   template <typename Count>
@@ -44,19 +74,6 @@ class VertexScalarField {
     std::vector<double> values(counts.begin(), counts.end());
     return VertexScalarField(std::move(name), std::move(values));
   }
-
-  const std::string& Name() const { return name_; }
-  uint32_t Size() const { return static_cast<uint32_t>(values_.size()); }
-  double operator[](VertexId v) const { return values_[v]; }
-  const std::vector<double>& Values() const { return values_; }
-  double MinValue() const { return min_; }
-  double MaxValue() const { return max_; }
-
- private:
-  std::string name_;
-  std::vector<double> values_;
-  double min_ = 0.0;
-  double max_ = 0.0;
 };
 
 }  // namespace graphscape

@@ -3,24 +3,12 @@
 
 #include "scalar/scalar_tree.h"
 
-#include <algorithm>
 #include <cassert>
 #include <numeric>
 
+#include "scalar/tree_core.h"
+
 namespace graphscape {
-namespace {
-
-// Path-halving find: every probe shortcuts grandparent links, so repeated
-// finds flatten the forest without a second pass. No recursion, no stack.
-inline uint32_t Find(uint32_t* uf, uint32_t x) {
-  while (uf[x] != x) {
-    uf[x] = uf[uf[x]];
-    x = uf[x];
-  }
-  return x;
-}
-
-}  // namespace
 
 ScalarTree BuildVertexScalarTree(const Graph& g,
                                  const VertexScalarField& field) {
@@ -30,14 +18,8 @@ ScalarTree BuildVertexScalarTree(const Graph& g,
 
   // The single sort: vertices by (value, id). rank[v] is v's position in
   // that order; comparing ranks is the total order used everywhere below.
-  std::vector<VertexId> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&values](VertexId a, VertexId b) {
-    const double fa = values[a], fb = values[b];
-    return fa < fb || (fa == fb && a < b);
-  });
-  std::vector<uint32_t> rank(n);
-  for (uint32_t i = 0; i < n; ++i) rank[order[i]] = i;
+  std::vector<uint32_t> order, rank;
+  tree_core::SortByValueThenId(values, &order, &rank);
 
   // Union-find state + the tree arena, all sized up front. `head[r]` is the
   // highest-rank vertex swept so far in the component rooted at r — the
@@ -61,20 +43,14 @@ ScalarTree BuildVertexScalarTree(const Graph& g,
   const uint32_t* const rank_data = rank.data();
   for (uint32_t k = 0; k < n; ++k) {
     const VertexId w = order[k];
-    uint32_t rw = Find(uf_data, w);
+    uint32_t rw = tree_core::Find(uf_data, w);
     for (const VertexId u : g.Neighbors(w)) {
       if (rank_data[u] >= k) continue;  // activates later, when u is higher
-      const uint32_t ru = Find(uf_data, u);
+      const uint32_t ru = tree_core::Find(uf_data, u);
       if (ru == rw) continue;
       // The lower component's head merges into the sweep vertex w.
-      parent_data[head_data[ru]] = w;
-      // Union by size; the surviving root's head becomes w.
-      uint32_t big = rw, small = ru;
-      if (size_data[big] < size_data[small]) std::swap(big, small);
-      uf_data[small] = big;
-      size_data[big] += size_data[small];
-      head_data[big] = w;
-      rw = big;
+      rw = tree_core::AttachAndUnion(ru, rw, w, uf_data, size_data,
+                                     head_data, parent_data);
     }
   }
 

@@ -41,23 +41,25 @@ class ScalarTree {
         order_(std::move(order)),
         num_roots_(num_roots) {}
 
-  /// One node per graph vertex.
+  /// One node per field element: graph vertices for Algorithm 1, edge
+  /// ids for Algorithm 3 (scalar/edge_scalar_tree.h).
   uint32_t NumNodes() const { return static_cast<uint32_t>(parents_.size()); }
 
-  /// kInvalidVertex for roots (one per connected component).
+  /// kInvalidVertex for roots.
   VertexId Parent(VertexId v) const { return parents_[v]; }
 
   double Value(VertexId v) const { return values_[v]; }
 
-  /// Number of roots == number of connected components of the graph.
+  /// Connected components of the graph for vertex trees; edge-bearing
+  /// components for edge trees (isolated vertices have no edge node).
   uint32_t NumRoots() const { return num_roots_; }
 
   const std::vector<VertexId>& Parents() const { return parents_; }
   const std::vector<double>& Values() const { return values_; }
 
-  /// Vertices in ascending (value, id) order — the sweep order of
-  /// Algorithm 1. Parents always appear AFTER their children here, which is
-  /// what lets Algorithm 2 run as a single linear pass.
+  /// Node ids in ascending (value, id) order — the sweep order of
+  /// Algorithms 1/3. Parents always appear AFTER their children here, which
+  /// is what lets Algorithm 2 run as a single linear pass.
   const std::vector<VertexId>& SweepOrder() const { return order_; }
 
  private:

@@ -3,37 +3,36 @@
 
 #include "scalar/simplify.h"
 
-#include <algorithm>
-#include <vector>
-
 #include "scalar/scalar_tree.h"
+#include "scalar/tree_core.h"
 
 namespace graphscape {
 
 VertexScalarField QuantizeField(const VertexScalarField& field,
                                 uint32_t levels) {
-  if (levels == 0) levels = 1;
-  const double lo = field.MinValue();
-  const double range = field.MaxValue() - lo;
-  if (range <= 0.0) return VertexScalarField(field.Name(), field.Values());
+  return VertexScalarField(
+      field.Name(), tree_core::SnapToLevels(field.Values(), field.MinValue(),
+                                            field.MaxValue(), levels));
+}
 
-  const double width = range / static_cast<double>(levels);
-  std::vector<double> snapped(field.Values());
-  for (double& v : snapped) {
-    uint32_t bucket = static_cast<uint32_t>((v - lo) / width);
-    // The maximum lands exactly on the upper fence; fold it into the top
-    // bucket so exactly `levels` distinct values are possible.
-    bucket = std::min(bucket, levels - 1);
-    v = lo + width * static_cast<double>(bucket);
-  }
-  return VertexScalarField(field.Name(), std::move(snapped));
+EdgeScalarField QuantizeEdgeField(const EdgeScalarField& field,
+                                  uint32_t levels) {
+  return EdgeScalarField(
+      field.Name(), tree_core::SnapToLevels(field.Values(), field.MinValue(),
+                                            field.MaxValue(), levels));
 }
 
 SuperTree SimplifiedVertexSuperTree(const Graph& g,
                                     const VertexScalarField& field,
                                     uint32_t levels) {
-  const VertexScalarField snapped = QuantizeField(field, levels);
-  return SuperTree(BuildVertexScalarTree(g, snapped));
+  return SuperTree(BuildVertexScalarTree(g, QuantizeField(field, levels)));
+}
+
+SuperTree SimplifiedEdgeSuperTree(const Graph& g,
+                                  const EdgeScalarField& field,
+                                  uint32_t levels) {
+  return SuperTree(
+      BuildEdgeScalarTree(g, QuantizeEdgeField(field, levels)));
 }
 
 }  // namespace graphscape

@@ -9,6 +9,11 @@
 // the rendered tree size is bounded by the number of surviving level-set
 // components instead of n. Larger L keeps more detail; L = 1 yields one
 // super node per connected component.
+//
+// Vertex and edge fields share ONE quantization implementation
+// (tree_core::SnapToLevels), so SimplifiedVertexSuperTree and
+// SimplifiedEdgeSuperTree bucket identically by construction — pinned by
+// tests/simplify_test.cc.
 
 #ifndef GRAPHSCAPE_SCALAR_SIMPLIFY_H_
 #define GRAPHSCAPE_SCALAR_SIMPLIFY_H_
@@ -16,6 +21,7 @@
 #include <cstdint>
 
 #include "graph/graph.h"
+#include "scalar/edge_scalar_tree.h"
 #include "scalar/scalar_field.h"
 #include "scalar/super_tree.h"
 
@@ -26,10 +32,19 @@ namespace graphscape {
 VertexScalarField QuantizeField(const VertexScalarField& field,
                                 uint32_t levels);
 
+/// Edge-field twin of QuantizeField; identical bucketing.
+EdgeScalarField QuantizeEdgeField(const EdgeScalarField& field,
+                                  uint32_t levels);
+
 /// Algorithm 1 + Algorithm 2 over the quantized field.
 SuperTree SimplifiedVertexSuperTree(const Graph& g,
                                     const VertexScalarField& field,
                                     uint32_t levels);
+
+/// Algorithm 3 + Algorithm 2 over the quantized edge field.
+SuperTree SimplifiedEdgeSuperTree(const Graph& g,
+                                  const EdgeScalarField& field,
+                                  uint32_t levels);
 
 }  // namespace graphscape
 

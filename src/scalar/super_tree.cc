@@ -3,40 +3,21 @@
 
 #include "scalar/super_tree.h"
 
+#include <utility>
+
+#include "scalar/tree_core.h"
+
 namespace graphscape {
 
 SuperTree::SuperTree(const ScalarTree& tree) {
-  const uint32_t n = tree.NumNodes();
-  node_of_.assign(n, kInvalidSuperNode);
-  // Worst case (all values distinct) produces n super nodes; reserving up
-  // front keeps the pass allocation-free.
-  node_values_.reserve(n);
-  node_parents_.reserve(n);
-  member_counts_.reserve(n);
-
-  const std::vector<VertexId>& order = tree.SweepOrder();
-  // Reverse sweep order: every vertex's scalar-tree parent has already been
-  // assigned a super node when the vertex is visited.
-  for (uint32_t i = n; i-- > 0;) {
-    const VertexId v = order[i];
-    const VertexId p = tree.Parent(v);
-    if (p != kInvalidVertex && tree.Value(p) == tree.Value(v)) {
-      const uint32_t node = node_of_[p];
-      node_of_[v] = node;
-      ++member_counts_[node];
-      continue;
-    }
-    const uint32_t node = static_cast<uint32_t>(node_values_.size());
-    node_values_.push_back(tree.Value(v));
-    member_counts_.push_back(1);
-    if (p == kInvalidVertex) {
-      node_parents_.push_back(kInvalidSuperNode);
-      ++num_roots_;
-    } else {
-      node_parents_.push_back(node_of_[p]);
-    }
-    node_of_[v] = node;
-  }
+  // The contraction itself is the shared Algorithm 2 core — the same
+  // pass serves vertex trees (Algorithm 1) and edge trees (Algorithm 3).
+  tree_core::Contraction c = tree_core::ContractSameValueChains(tree);
+  node_values_ = std::move(c.node_values);
+  node_parents_ = std::move(c.node_parents);
+  member_counts_ = std::move(c.member_counts);
+  node_of_ = std::move(c.node_of);
+  num_roots_ = c.num_roots;
 }
 
 }  // namespace graphscape

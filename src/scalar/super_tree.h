@@ -1,15 +1,20 @@
 // Copyright 2026 The GraphScape Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// Algorithm 2 (paper §II-D): the vertex super tree.
+// Algorithm 2 (paper §II-D): the super tree.
 //
 // Contracts every maximal same-value connected subtree of the scalar tree
 // into one super node, so a field with few distinct levels (K-Core, K-Truss,
 // integer attributes) collapses from n nodes to one node per level-set
 // component. Because ScalarTree::SweepOrder() lists parents after children,
-// the contraction is a single linear pass over vertices in reverse sweep
-// order: a vertex either joins its parent's super node (equal value) or
+// the contraction is a single linear pass over nodes in reverse sweep
+// order: a node either joins its parent's super node (equal value) or
 // opens a new one whose parent is its parent's super node.
+//
+// The input may be a vertex tree (Algorithm 1) or an edge tree
+// (Algorithm 3, scalar/edge_scalar_tree.h) — contraction only reads
+// parent links, values, and the sweep order; the actual pass lives in
+// scalar/tree_core.h and is shared by both paths.
 
 #ifndef GRAPHSCAPE_SCALAR_SUPER_TREE_H_
 #define GRAPHSCAPE_SCALAR_SUPER_TREE_H_
@@ -45,7 +50,8 @@ class SuperTree {
   /// Super node containing vertex v.
   uint32_t NodeOf(VertexId v) const { return node_of_[v]; }
 
-  /// One root per connected component of the underlying graph.
+  /// One root per root of the input tree: connected components for
+  /// vertex trees, edge-bearing components for edge trees.
   uint32_t NumRoots() const { return num_roots_; }
 
  private:

@@ -1,11 +1,12 @@
 // Copyright 2026 The GraphScape Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// Enforces the arena discipline of Algorithm 1/2: the number of heap
+// Enforces the arena discipline of Algorithms 1/2/3: the number of heap
 // allocations per build is a small constant (the up-front flat arrays),
-// independent of graph size — i.e., the sweep loop itself never allocates.
-// A per-node or per-edge allocation would make the count scale with n and
-// fail these bounds immediately.
+// independent of graph size — i.e., the sweep loops themselves never
+// allocate. A per-node or per-edge allocation would make the count scale
+// with n and fail these bounds immediately. Both the vertex sweep and
+// the edge sweep run under the same counting-operator-new harness.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +17,7 @@
 
 #include "common/rng.h"
 #include "gen/generators.h"
+#include "scalar/edge_scalar_tree.h"
 #include "scalar/scalar_tree.h"
 #include "scalar/super_tree.h"
 
@@ -61,6 +63,33 @@ TEST(AllocationDisciplineTest, BuildAllocationCountIsConstantInGraphSize) {
   // leave headroom for minor standard-library noise but stay well below
   // anything per-node.
   EXPECT_LE(large, 24u);
+}
+
+uint64_t AllocationsDuringEdgeBuild(uint32_t n) {
+  Rng rng(42);
+  const Graph g = BarabasiAlbert(n, 4, &rng);
+  Rng field_rng(7);
+  std::vector<double> values(static_cast<size_t>(g.NumEdges()));
+  for (auto& v : values) v = field_rng.UniformDouble();
+  const EdgeScalarField field("f", values);
+
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const ScalarTree tree = BuildEdgeScalarTree(g, field);
+  const SuperTree super(tree);
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_GT(super.NumNodes(), 0u);
+  return after - before;
+}
+
+TEST(AllocationDisciplineTest, EdgeBuildAllocationCountIsConstantInGraphSize) {
+  const uint64_t small = AllocationsDuringEdgeBuild(1 << 8);
+  const uint64_t large = AllocationsDuringEdgeBuild(1 << 14);
+  EXPECT_EQ(small, large)
+      << "allocation count scales with graph size - something allocates "
+         "inside the edge sweep loop";
+  // The endpoint pair of arrays + Algorithm 3's six + the field copy +
+  // Algorithm 2's five; same headroom rule as the vertex bound.
+  EXPECT_LE(large, 28u);
 }
 
 }  // namespace

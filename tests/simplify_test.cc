@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "gen/generators.h"
 #include "graph/graph_builder.h"
+#include "scalar/edge_scalar_tree.h"
 #include "scalar/scalar_tree.h"
 
 namespace graphscape {
@@ -35,6 +36,38 @@ TEST(QuantizeFieldTest, ConstantFieldUnchanged) {
   const VertexScalarField field("f", std::vector<double>(10, 2.5));
   const VertexScalarField snapped = QuantizeField(field, 8);
   for (const double v : snapped.Values()) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(QuantizeFieldTest, BucketingRegressionPinsExactFences) {
+  // Pins the bucketing the vertex path has always had, which the edge
+  // path must reproduce exactly: lower-fence snapping, with the maximum
+  // folded into the top bucket. Range [0, 1], 4 levels, width 0.25.
+  const std::vector<double> values{0.0, 0.24, 0.25, 0.5, 0.99, 1.0};
+  const VertexScalarField field("f", values);
+  const VertexScalarField snapped = QuantizeField(field, 4);
+  const std::vector<double> expected{0.0, 0.0, 0.25, 0.5, 0.75, 0.75};
+  ASSERT_EQ(snapped.Values().size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i)
+    EXPECT_DOUBLE_EQ(snapped.Values()[i], expected[i]) << "index " << i;
+}
+
+TEST(QuantizeFieldTest, VertexAndEdgeQuantizationAreBitIdentical) {
+  // Same values through both entry points -> the shared SnapToLevels
+  // core must emit identical doubles, not merely close ones.
+  Rng rng(17);
+  std::vector<double> values(512);
+  for (auto& v : values) v = rng.UniformDouble() * 100.0 - 50.0;
+  const VertexScalarField vertex_field("f", values);
+  const EdgeScalarField edge_field("f", values);
+  for (const uint32_t levels : {1u, 3u, 7u, 64u}) {
+    const std::vector<double> from_vertex =
+        QuantizeField(vertex_field, levels).Values();
+    const std::vector<double> from_edge =
+        QuantizeEdgeField(edge_field, levels).Values();
+    ASSERT_EQ(from_vertex.size(), from_edge.size());
+    for (size_t i = 0; i < from_vertex.size(); ++i)
+      EXPECT_EQ(from_vertex[i], from_edge[i]) << "levels " << levels;
+  }
 }
 
 TEST(SimplifiedVertexSuperTreeTest, OneLevelCollapsesToComponents) {
@@ -71,6 +104,42 @@ TEST(SimplifiedVertexSuperTreeTest, MoreLevelsKeepMoreNodes) {
     previous = nodes;
   }
   EXPECT_EQ(full, g.NumVertices());  // continuous field: all distinct
+}
+
+TEST(SimplifiedEdgeSuperTreeTest, OneLevelCollapsesToEdgeBearingComponents) {
+  GraphBuilder builder(8);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(3, 4);
+  // vertices 5, 6, 7 isolated: no edge-tree presence at all
+  const Graph g = builder.Build();
+  Rng rng(3);
+  std::vector<double> values(static_cast<size_t>(g.NumEdges()));
+  for (auto& v : values) v = rng.UniformDouble();
+  const EdgeScalarField field("f", values);
+  const SuperTree super = SimplifiedEdgeSuperTree(g, field, 1);
+  EXPECT_EQ(super.NumNodes(), 2u);  // {triangle edges}, {3-4}
+  EXPECT_EQ(super.NumRoots(), 2u);
+}
+
+TEST(SimplifiedEdgeSuperTreeTest, MoreLevelsKeepMoreNodes) {
+  Rng rng(21);
+  const Graph g = BarabasiAlbert(1 << 11, 4, &rng);
+  std::vector<double> values(static_cast<size_t>(g.NumEdges()));
+  for (auto& v : values) v = rng.UniformDouble();
+  const EdgeScalarField field("f", values);
+
+  const uint32_t full = SuperTree(BuildEdgeScalarTree(g, field)).NumNodes();
+  uint32_t previous = 0;
+  for (const uint32_t levels : {2u, 16u, 128u}) {
+    const uint32_t nodes =
+        SimplifiedEdgeSuperTree(g, field, levels).NumNodes();
+    EXPECT_GE(nodes, previous);
+    EXPECT_LE(nodes, full);
+    previous = nodes;
+  }
+  EXPECT_EQ(full, g.NumEdges());  // continuous field: all distinct
 }
 
 }  // namespace

@@ -1,0 +1,43 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace graphscape {
+namespace {
+
+TEST(StrPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrPrintf("plain"), "plain");
+  EXPECT_EQ(StrPrintf("%d + %d = %d", 2, 2, 4), "2 + 2 = 4");
+  EXPECT_EQ(StrPrintf("%-6s|%8.3f", "ab", 1.5), "ab    |   1.500");
+  EXPECT_EQ(StrPrintf("%s", ""), "");
+}
+
+TEST(StrPrintfTest, OutputLongerThanStackBufferIsExact) {
+  const std::string long_arg(1000, 'x');
+  const std::string result = StrPrintf("[%s]", long_arg.c_str());
+  EXPECT_EQ(result.size(), 1002u);
+  EXPECT_EQ(result.front(), '[');
+  EXPECT_EQ(result.back(), ']');
+  EXPECT_EQ(result.substr(1, 1000), long_arg);
+}
+
+TEST(HumanSecondsTest, PicksTheReadableUnitPerBand) {
+  EXPECT_EQ(HumanSeconds(0.0), "0s");
+  EXPECT_EQ(HumanSeconds(-1.0), "0s");
+  EXPECT_EQ(HumanSeconds(2e-9), "2ns");
+  EXPECT_EQ(HumanSeconds(4.56e-5), "45.60us");
+  EXPECT_EQ(HumanSeconds(0.0123), "12.30ms");
+  EXPECT_EQ(HumanSeconds(1.5), "1.50s");
+  EXPECT_EQ(HumanSeconds(59.994), "59.99s");
+  EXPECT_EQ(HumanSeconds(90.0), "1m30s");
+  EXPECT_EQ(HumanSeconds(3723.0), "1h02m");
+  EXPECT_EQ(HumanSeconds(7322.0), "2h02m");
+}
+
+}  // namespace
+}  // namespace graphscape
