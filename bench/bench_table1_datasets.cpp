@@ -26,11 +26,11 @@ int main() {
     const double cc = ds.graph.NumEdges() < 5'000'000
                           ? AverageClusteringCoefficient(ds.graph)
                           : -1.0;
-    std::printf("%-11s %12llu %12llu %6u %12u %12u %8.3f\n", ds.spec.name,
+    std::printf("%-11s %12llu %12llu %6u %12u %12llu %8.3f\n", ds.spec.name,
                 static_cast<unsigned long long>(ds.spec.paper_nodes),
                 static_cast<unsigned long long>(ds.spec.paper_edges),
-                ds.scale_divisor, ds.graph.NumVertices(), ds.graph.NumEdges(),
-                cc);
+                ds.scale_divisor, ds.graph.NumVertices(),
+                static_cast<unsigned long long>(ds.graph.NumEdges()), cc);
   }
   std::printf("\nshape check: collaboration networks (GrQc/PPI/Astro/DBLP/"
               "Amazon) show high clustering;\nvote/link/citation graphs "

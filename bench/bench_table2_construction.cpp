@@ -5,11 +5,15 @@
 // (KC(v), KT(e)) reports:
 //   Nt — super tree size after Algorithm 2,
 //   tc — tree construction time (Algorithm 1 or 3, + Algorithm 2),
-//   te — the naive dual-graph edge-tree baseline (edge scalars only),
-//   tv — terrain generation time (layout + raster + render).
+//   te — the naive dual-graph edge-tree baseline (edge scalars only;
+//        attempted through the guarded builder, so hub-heavy rows print
+//        "guard" instead of burning hours),
+//   tv — terrain generation time; blocked on terrain/ (ROADMAP item 10),
+//        printed as "-" until that subsystem lands.
 // Shape to hold: tc seconds-scale even on the largest graphs; te >> tc and
 // exploding with hub degrees (the paper's 16334 s Wikipedia cell).
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -19,32 +23,17 @@
 #include "metrics/kcore.h"
 #include "metrics/ktruss.h"
 #include "scalar/edge_scalar_tree.h"
+#include "scalar/scalar_tree.h"
 #include "scalar/super_tree.h"
-#include "scalar/tree_io.h"
-#include "terrain/render.h"
-#include "terrain/terrain_raster.h"
 
 namespace {
 
 using namespace graphscape;
 
-double TerrainSeconds(const SuperTree& tree) {
-  // tv mirrors the paper's definition: the visualization tool *reads* the
-  // serialized scalar tree, then renders the terrain.
-  const std::string serialized = SuperTreeToString(tree);
-  WallTimer timer;
-  const auto loaded = ParseSuperTree(serialized);
-  const SuperTree& viz_tree = loaded.ok() ? loaded.value() : tree;
-  const TerrainLayout layout = BuildTerrainLayout(viz_tree);
-  RasterOptions raster;
-  raster.width = 512;
-  raster.height = 512;
-  const HeightField field = RasterizeTerrain(layout, raster);
-  const Image image = RenderOblique(field, HeightColors(viz_tree), Camera{},
-                                    800, 600);
-  (void)image;
-  return timer.Seconds();
-}
+// Line-graph cap for the per-row naive attempts: large enough that the
+// small collaboration sets run it, small enough that hub-heavy rows are
+// refused instantly (the guard checks Σ deg² before building anything).
+constexpr uint64_t kRowNaiveCap = 1ull << 24;
 
 void RunVertexRow(const Dataset& ds) {
   WallTimer timer;
@@ -53,12 +42,11 @@ void RunVertexRow(const Dataset& ds) {
   const ScalarTree tree = BuildVertexScalarTree(ds.graph, kc);
   const SuperTree super(tree);
   const double tc = timer.Seconds();
-  const double tv = TerrainSeconds(super);
   std::printf("%-11s %-6s %9u %9.4f %9s %9s\n", ds.spec.name, "KC(v)",
-              super.NumNodes(), tc, "-", HumanSeconds(tv).c_str());
+              super.NumNodes(), tc, "-", "-");
 }
 
-void RunEdgeRow(const Dataset& ds, bool run_naive) {
+void RunEdgeRow(const Dataset& ds) {
   WallTimer timer;
   const EdgeScalarField kt =
       EdgeScalarField::FromCounts("KT", TrussNumbers(ds.graph));
@@ -69,21 +57,18 @@ void RunEdgeRow(const Dataset& ds, bool run_naive) {
   const SuperTree super(tree);
   const double tc = timer.Seconds();
 
-  std::string te = "skip";
-  if (run_naive) {
-    timer.Restart();
-    const auto naive = BuildEdgeScalarTreeNaive(ds.graph, kt);
-    if (naive.ok()) {
-      const SuperTree naive_super(naive.value());
-      te = StrPrintf("%.4f", timer.Seconds());
-    } else {
-      te = "guard";  // line graph would blow past the size cap
-    }
+  timer.Restart();
+  const auto naive = BuildEdgeScalarTreeNaive(ds.graph, kt, kRowNaiveCap);
+  std::string te;
+  if (naive.ok()) {
+    const SuperTree naive_super(naive.value());
+    te = StrPrintf("%.4f", timer.Seconds());
+  } else {
+    te = "guard";  // line graph would blow past the size cap
   }
-  const double tv = TerrainSeconds(super);
   std::printf("%-11s %-6s %9u %9.4f %9s %9s   (KT field: %.2fs)\n",
-              ds.spec.name, "KT(e)", super.NumNodes(), tc, te.c_str(),
-              HumanSeconds(tv).c_str(), t_field);
+              ds.spec.name, "KT(e)", super.NumNodes(), tc, te.c_str(), "-",
+              t_field);
 }
 
 }  // namespace
@@ -91,23 +76,17 @@ void RunEdgeRow(const Dataset& ds, bool run_naive) {
 int main() {
   using namespace graphscape;
   bench::Banner("Table II — terrain visualization time cost (sec)",
-                "paper Table II (Nt, tc, te, tv per dataset x scalar)");
+                "paper Table II (Nt, tc, te per dataset x scalar; tv "
+                "blocked on terrain/)");
   std::printf("%-11s %-6s %9s %9s %9s %9s\n", "Dataset", "Scalar", "Nt", "tc",
               "te", "tv");
 
-  const struct {
-    DatasetId id;
-    bool naive;  // run the dual-graph baseline (quadratic; small sets only)
-  } rows[] = {
-      {DatasetId::kGrQc, true},      {DatasetId::kWikiVote, true},
-      {DatasetId::kWikipedia, false}, {DatasetId::kCitPatent, false},
-  };
-  for (const auto& row : rows) {
+  for (const DatasetId id : AllDatasetIds()) {
     DatasetOptions options;
     if (bench::FullScale()) options.scale_divisor = 1;
-    const Dataset ds = MakeDataset(row.id, options);
+    const Dataset ds = MakeDataset(id, options);
     RunVertexRow(ds);
-    RunEdgeRow(ds, row.naive);
+    RunEdgeRow(ds);
   }
 
   // The te-vs-tc gap at matched scale: the paper's headline is the naive
@@ -126,10 +105,11 @@ int main() {
   const auto naive = BuildEdgeScalarTreeNaive(wiki.graph, kt, 1ull << 33);
   const double te = timer.Seconds();
   if (naive.ok()) {
-    std::printf("  |V|=%u |E|=%u: tc=%.4fs te=%.4fs -> naive is %.0fx "
+    std::printf("  |V|=%u |E|=%llu: tc=%.4fs te=%.4fs -> naive is %.0fx "
                 "slower\n",
-                wiki.graph.NumVertices(), wiki.graph.NumEdges(), tc, te,
-                te / std::max(1e-9, tc));
+                wiki.graph.NumVertices(),
+                static_cast<unsigned long long>(wiki.graph.NumEdges()), tc,
+                te, te / std::max(1e-9, tc));
   } else {
     std::printf("  naive guarded out: %s\n",
                 naive.status().ToString().c_str());

@@ -1,0 +1,86 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The dataset registry behind Tables I–II and the figure benches: one
+// deterministic synthetic stand-in per network the paper evaluates on.
+// We cannot redistribute the SNAP downloads, so each DatasetId names a
+// generator recipe tuned so the degree distribution and average local
+// clustering qualitatively match its Table I row — collaboration
+// networks (GrQc, PPI, Astro, DBLP, Amazon) come out triangle-rich and
+// community-structured, vote/link/citation graphs (WikiVote, Wikipedia,
+// CitPatent) come out heavy-tailed with low clustering.
+//
+// Scaling: every recipe holds the paper network's *average degree*
+// constant and divides the vertex count by `scale_divisor`, so node and
+// edge counts both shrink by ~1/divisor while the per-vertex structure
+// (degree, clustering) is preserved. scale_divisor == 1 is paper scale
+// (bench::FullScale()); the per-dataset defaults keep every graph CI-fast
+// (a few thousand vertices). Same id + divisor + seed => bit-identical
+// graph on every platform (common/rng.h).
+
+#ifndef GRAPHSCAPE_GEN_DATASETS_H_
+#define GRAPHSCAPE_GEN_DATASETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphscape {
+
+/// The paper's evaluation networks, Table I order.
+enum class DatasetId : uint8_t {
+  kGrQc,       ///< ca-GrQc collaboration net
+  kWikiVote,   ///< wiki-Vote who-votes-on-whom
+  kPPI,        ///< protein-protein interaction net
+  kAstro,      ///< ca-AstroPh collaboration net
+  kDBLP,       ///< com-DBLP collaboration net
+  kAmazon,     ///< com-Amazon co-purchase net
+  kWikipedia,  ///< Wikipedia communication net (the paper's hub-degree
+               ///< stress case: naive edge trees blow up here)
+  kCitPatent,  ///< cit-Patents citation net
+};
+
+/// Every registered id, Table I order — the row set Tables I/II iterate.
+const std::vector<DatasetId>& AllDatasetIds();
+
+/// Provenance and generator tuning for one dataset. `paper_nodes` /
+/// `paper_edges` / `paper_avg_cc` are the public stats of the SNAP
+/// network the stand-in mimics; generated counts approach
+/// paper_counts / divisor.
+struct DatasetSpec {
+  DatasetId id;
+  const char* name;       ///< short row label ("GrQc", "WikiVote", ...)
+  const char* snap_name;  ///< the network this stands in for ("ca-GrQc")
+  uint64_t paper_nodes;
+  uint64_t paper_edges;
+  double paper_avg_cc;       ///< average local clustering (approximate)
+  uint32_t default_divisor;  ///< applied when DatasetOptions is defaulted
+  uint64_t default_seed;
+};
+
+const DatasetSpec& GetDatasetSpec(DatasetId id);
+
+struct DatasetOptions {
+  /// 1 = paper scale; k shrinks nodes and edges by ~1/k at constant
+  /// average degree; 0 picks the spec's CI-sized default_divisor.
+  uint32_t scale_divisor = 0;
+  /// 0 picks the spec's default seed. Any other value reseeds the
+  /// generator (same divisor + seed => identical graph).
+  uint64_t seed = 0;
+};
+
+struct Dataset {
+  DatasetSpec spec;
+  uint32_t scale_divisor;  ///< the divisor actually applied
+  Graph graph;
+};
+
+/// Builds the synthetic stand-in for `id`. Deterministic in (id,
+/// options); the result is always simple and undirected (CSR invariants
+/// of graph/graph.h).
+Dataset MakeDataset(DatasetId id, const DatasetOptions& options = {});
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_GEN_DATASETS_H_

@@ -7,6 +7,18 @@
 // smaller endpoint, then larger — exactly the order TrussNumbers and
 // EdgeScalarField values are laid out in.
 //
+// This id space is the hinge between the paper's two tree algorithms
+// (PAPER.md §II-C): Algorithm 3 builds an edge scalar tree whose NODES
+// are these edge ids while its union-find runs over the ORIGINAL
+// graph's vertices, and the resulting ScalarTree flows through the same
+// Algorithm 2 contraction and §II-E simplification as Algorithm 1's
+// vertex trees (scalar/tree_core.h). For that to be sound the mapping
+// must satisfy two invariants: (1) twin consistency — both CSR slots of
+// an undirected edge {u, v} carry the SAME id, so "the edge at this
+// slot" is direction-free; (2) order agreement — ids are dense in
+// EdgeList order, so a metric vector computed by edge peeling
+// (TrussNumbers) indexes an EdgeScalarField with no permutation.
+//
 // Construction resolves the undirected-twin mapping once: one forward
 // pass mints ids on the u < v slots, and each reverse slot finds its twin
 // with a binary search in the already-minted run. After that every

@@ -2,11 +2,40 @@
 // Licensed under the Apache License, Version 2.0.
 //
 // The shared core both scalar-tree paths (vertex fields, Algorithm 1;
-// edge fields, Algorithm 3) instantiate: the (value, id) rank sort, the
-// path-halving union-find primitive, the attach-and-union merge step,
-// uniform level quantization (§II-E), and Algorithm 2's same-value chain
-// contraction. Everything here operates on pre-sized flat arrays so the
-// callers' sweep loops stay allocation-free (tests/allocation_test.cc).
+// edge fields, Algorithm 3 — see PAPER.md / paper §II-C) instantiate:
+// the (value, id) rank sort, the path-halving union-find primitive, the
+// attach-and-union merge step, uniform level quantization (§II-E), and
+// Algorithm 2's same-value chain contraction (§II-D).
+//
+// The invariants that make one core serve both element types:
+//
+//  * Rank sort (SortByValueThenId). Ties broken by id give a TOTAL order
+//    over field elements, so "the component containing x when element y
+//    is swept" is well defined even on plateau-heavy integer fields
+//    (K-Core, K-Truss). Both algorithms sweep strictly in rank order;
+//    every downstream structure quotes ranks, never raw values.
+//
+//  * Attach-and-union (AttachAndUnion). A union-find root stands for one
+//    growing level-set component; head[root] is the LAST element of that
+//    component the sweep has seen. When the element being swept touches
+//    a component, the component's head becomes its child — then the two
+//    union-find classes merge by size and the surviving root's head
+//    becomes the swept element. Consequences both paths rely on: parents
+//    appear after children in sweep order (SweepOrder()), values are
+//    non-decreasing toward the root, and Algorithm 2 can contract in ONE
+//    reverse pass (ContractSameValueChains).
+//
+//  * Element-space neutrality. Nothing here touches the graph: Algorithm
+//    1 feeds vertex ids whose adjacency comes from CSR runs; Algorithm 3
+//    feeds edge ids whose adjacency is implicit in the union-find over
+//    ORIGINAL vertices (two edges are neighbors iff they share an
+//    endpoint — the twin mapping in graph/edge_index.h fixes the id
+//    space). That is why SimplifiedVertexSuperTree and
+//    SimplifiedEdgeSuperTree bucket identically (SnapToLevels) and why
+//    tests pin vertex-vs-edge bucketing to be the same.
+//
+// Everything operates on pre-sized flat arrays so the callers' sweep
+// loops stay allocation-free (tests/allocation_test.cc).
 
 #ifndef GRAPHSCAPE_SCALAR_TREE_CORE_H_
 #define GRAPHSCAPE_SCALAR_TREE_CORE_H_

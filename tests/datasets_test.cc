@@ -1,0 +1,129 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "gen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "metrics/clustering.h"
+
+namespace graphscape {
+namespace {
+
+// Tests run every dataset a few sizes below its CI default so the whole
+// file stays fast even on the Debug+ASan matrix leg.
+DatasetOptions ShrunkOptions(DatasetId id, uint32_t extra_divisor) {
+  DatasetOptions options;
+  options.scale_divisor = GetDatasetSpec(id).default_divisor * extra_divisor;
+  return options;
+}
+
+TEST(DatasetsTest, RegistryCoversTableOneRows) {
+  const std::vector<DatasetId>& ids = AllDatasetIds();
+  EXPECT_EQ(ids.size(), 8u);
+  std::set<DatasetId> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), ids.size());
+  for (const DatasetId id : ids) {
+    const DatasetSpec& spec = GetDatasetSpec(id);
+    EXPECT_EQ(spec.id, id);
+    EXPECT_NE(spec.name, nullptr);
+    EXPECT_NE(spec.snap_name, nullptr);
+    EXPECT_GT(spec.paper_nodes, 0u);
+    EXPECT_GT(spec.paper_edges, 0u);
+    EXPECT_GE(spec.default_divisor, 1u);
+  }
+}
+
+TEST(DatasetsTest, SameOptionsSameGraph) {
+  for (const DatasetId id : AllDatasetIds()) {
+    const DatasetOptions options = ShrunkOptions(id, 2);
+    const Dataset a = MakeDataset(id, options);
+    const Dataset b = MakeDataset(id, options);
+    EXPECT_EQ(a.graph.Offsets(), b.graph.Offsets())
+        << GetDatasetSpec(id).name;
+    EXPECT_EQ(a.graph.Adjacency(), b.graph.Adjacency())
+        << GetDatasetSpec(id).name;
+  }
+}
+
+TEST(DatasetsTest, SeedChangesTheGraph) {
+  DatasetOptions reseeded = ShrunkOptions(DatasetId::kGrQc, 2);
+  reseeded.seed = 99;
+  const Dataset a = MakeDataset(DatasetId::kGrQc,
+                                ShrunkOptions(DatasetId::kGrQc, 2));
+  const Dataset b = MakeDataset(DatasetId::kGrQc, reseeded);
+  EXPECT_NE(a.graph.Adjacency(), b.graph.Adjacency());
+}
+
+TEST(DatasetsTest, ScaleDivisorShrinksMonotonically) {
+  for (const DatasetId id : AllDatasetIds()) {
+    const Dataset big = MakeDataset(id, ShrunkOptions(id, 2));
+    const Dataset small = MakeDataset(id, ShrunkOptions(id, 8));
+    EXPECT_LT(small.graph.NumVertices(), big.graph.NumVertices())
+        << GetDatasetSpec(id).name;
+    EXPECT_LT(small.graph.NumEdges(), big.graph.NumEdges())
+        << GetDatasetSpec(id).name;
+    EXPECT_EQ(big.scale_divisor, GetDatasetSpec(id).default_divisor * 2);
+  }
+}
+
+TEST(DatasetsTest, EveryDatasetBuildsSimpleAndUndirected) {
+  for (const DatasetId id : AllDatasetIds()) {
+    const Dataset ds = MakeDataset(id, ShrunkOptions(id, 2));
+    const Graph& g = ds.graph;
+    ASSERT_GT(g.NumVertices(), 0u) << ds.spec.name;
+    ASSERT_GT(g.NumEdges(), 0u) << ds.spec.name;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      const Graph::NeighborRange r = g.Neighbors(v);
+      for (uint32_t i = 0; i < r.size(); ++i) {
+        EXPECT_NE(r[i], v) << ds.spec.name << ": self loop at " << v;
+        if (i > 0) {
+          // Strictly ascending runs = sorted and duplicate-free.
+          EXPECT_LT(r[i - 1], r[i]) << ds.spec.name;
+        }
+        EXPECT_TRUE(g.HasEdge(r[i], v))
+            << ds.spec.name << ": missing twin " << v << "-" << r[i];
+      }
+    }
+  }
+}
+
+TEST(DatasetsTest, AverageDegreeTracksPaperRow) {
+  // Scaling holds average degree constant, so the generated graph's
+  // average degree should sit near the paper network's at any divisor.
+  for (const DatasetId id : AllDatasetIds()) {
+    const DatasetSpec& spec = GetDatasetSpec(id);
+    const Dataset ds = MakeDataset(id, ShrunkOptions(id, 2));
+    const double paper_deg = 2.0 * static_cast<double>(spec.paper_edges) /
+                             static_cast<double>(spec.paper_nodes);
+    const double gen_deg = 2.0 * static_cast<double>(ds.graph.NumEdges()) /
+                           static_cast<double>(ds.graph.NumVertices());
+    EXPECT_GT(gen_deg, 0.5 * paper_deg) << spec.name;
+    EXPECT_LT(gen_deg, 2.0 * paper_deg) << spec.name;
+  }
+}
+
+TEST(DatasetsTest, ClusteringSeparatesNetworkClasses) {
+  // The structural fingerprint Table I encodes: collaboration stand-ins
+  // are triangle-rich, preferential-attachment stand-ins are not.
+  const double collab = AverageClusteringCoefficient(
+      MakeDataset(DatasetId::kGrQc, ShrunkOptions(DatasetId::kGrQc, 2))
+          .graph);
+  const double astro = AverageClusteringCoefficient(
+      MakeDataset(DatasetId::kAstro, ShrunkOptions(DatasetId::kAstro, 2))
+          .graph);
+  const double wiki = AverageClusteringCoefficient(
+      MakeDataset(DatasetId::kWikipedia,
+                  ShrunkOptions(DatasetId::kWikipedia, 2))
+          .graph);
+  EXPECT_GT(collab, 0.25);
+  EXPECT_GT(astro, 0.25);
+  EXPECT_LT(wiki, 0.15);
+  EXPECT_GT(collab, wiki);
+}
+
+}  // namespace
+}  // namespace graphscape
