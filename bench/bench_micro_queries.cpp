@@ -1,0 +1,135 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Microbenchmarks: the scalar-tree analysis layer. The member index
+// build (one-time cost), the O(1)-amortized Members/SubtreeMembers
+// scans, level/peak queries, persistence extraction, field correlation,
+// and artifact (de)serialization — the read-side costs every figure
+// bench pays after construction.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "metrics/kcore.h"
+#include "scalar/correlation.h"
+#include "scalar/persistence.h"
+#include "scalar/scalar_tree.h"
+#include "scalar/tree_io.h"
+#include "scalar/tree_queries.h"
+
+namespace graphscape {
+namespace {
+
+Graph MakeBenchGraph(uint32_t n) {
+  Rng rng(42);
+  return BarabasiAlbert(n, 4, &rng);
+}
+
+VertexScalarField KcField(const Graph& g) {
+  return VertexScalarField::FromCounts("KC", CoreNumbers(g));
+}
+
+void BM_MemberIndexBuild(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
+  const SuperTree tree(BuildVertexScalarTree(g, KcField(g)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TreeMemberIndex(tree));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_MemberIndexBuild)->Range(1 << 10, 1 << 17);
+
+void BM_MembersFullScan(benchmark::State& state) {
+  // Iterating every node's member slice touches each element once: the
+  // O(1)-amortized contract means items/s here is memory bandwidth.
+  const Graph g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
+  const SuperTree tree(BuildVertexScalarTree(g, KcField(g)));
+  tree.MemberIndex();  // prime the cache; the scan is what's timed
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    for (uint32_t node = 0; node < tree.NumNodes(); ++node) {
+      for (const uint32_t v : tree.Members(node)) checksum += v;
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_MembersFullScan)->Range(1 << 10, 1 << 17);
+
+void BM_SubtreeMembersTopPeaks(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
+  const VertexScalarField kc = KcField(g);
+  const SuperTree tree(BuildVertexScalarTree(g, kc));
+  tree.MemberIndex();
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    for (const Peak& peak : PeaksAtLevel(tree, 0.7 * kc.MaxValue())) {
+      for (const uint32_t v : tree.SubtreeMembers(peak.super_node))
+        checksum += v;
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_SubtreeMembersTopPeaks)->Range(1 << 10, 1 << 17);
+
+void BM_CountComponentsAtLevel(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
+  const VertexScalarField kc = KcField(g);
+  const SuperTree tree(BuildVertexScalarTree(g, kc));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CountComponentsAtLevel(tree, 0.5 * kc.MaxValue()));
+  }
+  state.SetItemsProcessed(state.iterations() * tree.NumNodes());
+}
+BENCHMARK(BM_CountComponentsAtLevel)->Range(1 << 10, 1 << 17);
+
+void BM_PersistencePairs(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
+  Rng rng(7);
+  std::vector<double> values(g.NumVertices());
+  for (auto& v : values) v = rng.UniformDouble();
+  const ScalarTree tree =
+      BuildVertexScalarTree(g, VertexScalarField("f", values));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PersistencePairs(tree));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_PersistencePairs)->Range(1 << 10, 1 << 17);
+
+void BM_Gci(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
+  std::vector<double> degree(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) degree[v] = g.Degree(v);
+  const VertexScalarField a("degree", degree);
+  const VertexScalarField b = KcField(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gci(g, a, b));
+  }
+  // Each LCI window scans the CSR run twice; 2m slots per pass.
+  state.SetItemsProcessed(state.iterations() * 2 * g.NumEdges());
+}
+BENCHMARK(BM_Gci)->Range(1 << 10, 1 << 16);
+
+void BM_TreeIoRoundtrip(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
+  const VertexScalarField kc = KcField(g);
+  TreeArtifact artifact;
+  artifact.tree = SuperTree(BuildVertexScalarTree(g, kc));
+  artifact.field_name = kc.Name();
+  artifact.field_values = kc.Values();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string serialized = SerializeTreeArtifact(artifact);
+    bytes = serialized.size();
+    auto loaded = DeserializeTreeArtifact(serialized);
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * bytes);
+}
+BENCHMARK(BM_TreeIoRoundtrip)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+}  // namespace graphscape

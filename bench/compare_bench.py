@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+# Copyright 2026 The GraphScape Authors.
+# Licensed under the Apache License, Version 2.0.
+"""CI bench-regression gate: compare a BENCH_merged.json against the
+committed baseline and fail on any tracked throughput regression.
+
+Usage:
+    compare_bench.py BASELINE CURRENT [--max-regression 0.25]
+                     [--min-seconds 0.05]
+
+Tracked rows:
+
+  * Microbenchmark throughput (items_per_second) for the hot paths:
+    Algorithm 1 (vertex tree), Algorithm 3 (edge tree), and the analysis
+    layer's member index / persistence scans. A row regressing by more
+    than --max-regression (default 25%) fails the gate. A tracked row
+    missing from CURRENT fails too — a bench silently disappearing is a
+    regression. A row missing from BASELINE is reported and skipped
+    (re-baseline to start tracking it).
+
+  * Table II construction times, aggregated: the sum of tc over all
+    KC(v) rows, the sum over all KT(e) rows, and the sum of the numeric
+    te cells present in BOTH files. Aggregation keeps the gate out of
+    per-row millisecond noise; aggregates whose baseline is below
+    --min-seconds are informational only (they gate automatically on
+    slower runners, where the sums are large enough to be meaningful).
+
+Re-baselining (e.g. after CI runner hardware changes, or when a PR
+legitimately trades one row for a bigger win): download the
+BENCH_merged.json artifact from a green run of the bench-smoke job on
+main and commit it as bench/baseline/BENCH_baseline.json. Locally:
+
+    cmake -B build -S . && cmake --build build -j
+    bench/make_baseline.sh build bench/baseline/BENCH_baseline.json
+
+Exit status: 0 when every gated row is within bounds, 1 otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+TRACKED_BENCHMARKS = [
+    "BM_Algorithm1_Distinct/131072",
+    "BM_Algorithm1_IntegerField/131072",
+    "BM_EdgeTree_Optimized/65536",
+    "BM_MemberIndexBuild/131072",
+    "BM_MembersFullScan/131072",
+    "BM_PersistencePairs/131072",
+]
+
+TABLE2_ROW = re.compile(
+    r"^(\w+)\s+(KC\(v\)|KT\(e\))\s+(\d+)\s+([0-9.]+)\s+(\S+)\s+(\S+)")
+
+
+def load_benchmarks(merged):
+    """name -> items_per_second for benchmark entries that report one."""
+    rows = {}
+    for entry in merged.get("benchmarks", []):
+        if "items_per_second" in entry:
+            rows[entry["name"]] = float(entry["items_per_second"])
+    return rows
+
+
+def load_table2(merged):
+    """(dataset, scalar) -> {"tc": float, "te": float | None}."""
+    rows = {}
+    for line in merged.get("tables", {}).get("table2_construction", []):
+        match = TABLE2_ROW.match(line)
+        if not match:
+            continue
+        dataset, scalar, _, tc, te, _ = match.groups()
+        te_value = float(te) if re.fullmatch(r"[0-9.]+", te) else None
+        rows[(dataset, scalar)] = {"tc": float(tc), "te": te_value}
+    return rows
+
+
+def table2_aggregates(base_rows, cur_rows):
+    """Aggregate sums over the rows both files report."""
+    shared = sorted(set(base_rows) & set(cur_rows))
+    aggregates = []
+    for scalar, label in (("KC(v)", "table2 tc sum KC(v)"),
+                          ("KT(e)", "table2 tc sum KT(e)")):
+        keys = [k for k in shared if k[1] == scalar]
+        if keys:
+            aggregates.append((label,
+                               sum(base_rows[k]["tc"] for k in keys),
+                               sum(cur_rows[k]["tc"] for k in keys)))
+    te_keys = [k for k in shared
+               if base_rows[k]["te"] is not None
+               and cur_rows[k]["te"] is not None]
+    if te_keys:
+        aggregates.append(("table2 te sum (naive)",
+                           sum(base_rows[k]["te"] for k in te_keys),
+                           sum(cur_rows[k]["te"] for k in te_keys)))
+    return aggregates
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fractional throughput loss that fails the "
+                             "gate (default 0.25)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="table2 aggregates with a baseline below "
+                             "this are informational only")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = []
+    print(f"{'row':44s} {'baseline':>12s} {'current':>12s} {'delta':>8s}  "
+          f"verdict")
+
+    # Microbench throughput rows: higher is better.
+    base_bench = load_benchmarks(baseline)
+    cur_bench = load_benchmarks(current)
+    for name in TRACKED_BENCHMARKS:
+        if name not in base_bench:
+            print(f"{name:44s} {'-':>12s} {'-':>12s} {'-':>8s}  "
+                  f"SKIP (not in baseline; re-baseline to track)")
+            continue
+        base_value = base_bench[name]
+        if name not in cur_bench:
+            print(f"{name:44s} {base_value:12.3e} {'-':>12s} {'-':>8s}  "
+                  f"FAIL (missing from current run)")
+            failures.append(f"{name} missing from current run")
+            continue
+        cur_value = cur_bench[name]
+        delta = cur_value / base_value - 1.0
+        ok = cur_value >= base_value * (1.0 - args.max_regression)
+        verdict = "ok" if ok else "FAIL"
+        print(f"{name:44s} {base_value:12.3e} {cur_value:12.3e} "
+              f"{delta:+7.1%}  {verdict}")
+        if not ok:
+            failures.append(
+                f"{name}: {cur_value:.3e} items/s vs baseline "
+                f"{base_value:.3e} ({delta:+.1%})")
+
+    # Table II aggregates: lower is better.
+    for label, base_value, cur_value in table2_aggregates(
+            load_table2(baseline), load_table2(current)):
+        delta = cur_value / base_value - 1.0 if base_value > 0 else 0.0
+        gated = base_value >= args.min_seconds
+        ok = cur_value <= base_value / (1.0 - args.max_regression)
+        verdict = ("ok" if ok else "FAIL") if gated else "info"
+        print(f"{label:44s} {base_value:11.4f}s {cur_value:11.4f}s "
+              f"{delta:+7.1%}  {verdict}")
+        if gated and not ok:
+            failures.append(
+                f"{label}: {cur_value:.4f}s vs baseline "
+                f"{base_value:.4f}s ({delta:+.1%})")
+
+    if failures:
+        for failure in failures:
+            print(f"::error::bench regression: {failure}")
+        print("::error::if this regression is expected, re-baseline: see "
+              "bench/compare_bench.py --help")
+        return 1
+    print("bench gate: all tracked rows within "
+          f"{args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Copyright 2026 The GraphScape Authors.
+# Licensed under the Apache License, Version 2.0.
+#
+# Regenerate the committed bench baseline (bench/baseline/
+# BENCH_baseline.json) from a fresh local run, mirroring exactly what
+# CI's bench-smoke job produces as BENCH_merged.json. Usage:
+#
+#   bench/make_baseline.sh <build-dir> <output.json>
+#
+# Prefer re-baselining from CI itself (download a green run's
+# BENCH_merged.json artifact) so the baseline matches runner hardware;
+# this script is for bootstrapping and local experiments.
+
+set -euo pipefail
+
+build_dir=${1:?usage: make_baseline.sh <build-dir> <output.json>}
+output=${2:?usage: make_baseline.sh <build-dir> <output.json>}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for bench in scalar_tree edge_tree queries; do
+  "$build_dir/bench_micro_$bench" \
+    --benchmark_min_time=0.1 \
+    --benchmark_out="$tmp/BENCH_$bench.json" \
+    --benchmark_out_format=json
+done
+"$build_dir/bench_table1_datasets" > "$tmp/table1.txt"
+"$build_dir/bench_table2_construction" > "$tmp/table2.txt"
+
+python3 - "$tmp" "$output" <<'EOF'
+import json
+import sys
+
+tmp, output = sys.argv[1], sys.argv[2]
+merged = {"context": None, "benchmarks": [], "tables": {}}
+for name in ("scalar_tree", "edge_tree", "queries"):
+    with open(f"{tmp}/BENCH_{name}.json") as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = data.get("context")
+    merged["benchmarks"].extend(data.get("benchmarks", []))
+for table, path in (("table1_datasets", f"{tmp}/table1.txt"),
+                    ("table2_construction", f"{tmp}/table2.txt")):
+    with open(path) as f:
+        merged["tables"][table] = [l for l in f.read().split("\n") if l]
+with open(output, "w") as f:
+    json.dump(merged, f, indent=1)
+print(f"wrote {output}")
+EOF

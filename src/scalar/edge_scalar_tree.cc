@@ -20,14 +20,14 @@ namespace {
 ScalarTree SweepEdges(uint32_t n, uint32_t m, const VertexId* eu,
                       const VertexId* ev,
                       const std::vector<double>& values) {
-  // The single sort: edges by (value, id).
+  // The single sort: edges by (value desc, id asc) — superlevel sweep.
   std::vector<uint32_t> order, rank;
-  tree_core::SortByValueThenId(values, &order, &rank);
+  tree_core::SortSweepOrder(values, &order, &rank);
 
   // Union-find over the ORIGINAL graph's vertices — this is what makes
-  // the dual graph unnecessary. head[r] is the highest-rank edge swept
-  // so far in the vertex component rooted at r, or kInvalidVertex while
-  // the component has no active edges.
+  // the dual graph unnecessary. head[r] is the latest-swept edge in the
+  // vertex component rooted at r, or kInvalidVertex while the component
+  // has no active edges.
   std::vector<uint32_t> uf(n);
   std::iota(uf.begin(), uf.end(), 0u);
   std::vector<uint32_t> comp_size(n, 1);

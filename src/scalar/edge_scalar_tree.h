@@ -8,12 +8,13 @@
 // which explodes on hubs (the paper's 16334 s Wikipedia cell).
 //
 // The optimized build never touches the dual graph. It runs the same
-// sweep as Algorithm 1 — ONE sort, edges by (value, id) — but keeps the
-// union-find over *vertices* of the original graph: an edge-level-set
-// component is exactly a set of vertices connected by already-swept
-// edges, so sweeping edge {u, v} merges the components at u and v and
-// chains their head edges under the new edge. Total cost O(E log E) for
-// the sort plus near-linear union-find, independent of degree skew.
+// sweep as Algorithm 1 — ONE sort, edges by (value desc, id asc), the
+// superlevel orientation — but keeps the union-find over *vertices* of
+// the original graph: an edge-level-set component is exactly a set of
+// vertices connected by already-swept edges, so sweeping edge {u, v}
+// merges the components at u and v and chains their head edges under the
+// new edge. Total cost O(E log E) for the sort plus near-linear
+// union-find, independent of degree skew.
 //
 // The result is an ordinary ScalarTree whose node ids are edge ids in
 // EdgeList order (graph/edge_index.h) — Algorithm 2 (SuperTree) and the

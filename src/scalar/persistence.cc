@@ -1,0 +1,132 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "scalar/persistence.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace graphscape {
+namespace {
+
+// The elder-rule pass shared by pair extraction and simplification.
+// best[v] is the carrier: the sweep rank of the eldest (highest-value)
+// leaf in v's subtree. Because SweepOrder() lists children before
+// parents, one forward pass suffices: a node is born a leaf if nothing
+// pushed into it yet, and pushing best[v] into Parent(v) resolves every
+// junction by the elder rule — the younger carrier dies there and emits
+// a pair.
+struct ElderPass {
+  std::vector<uint32_t> best;          // node -> final carrier rank
+  std::vector<PersistencePair> pairs;  // emission order
+  std::vector<uint32_t> carrier_rank;  // parallel to pairs: dying carrier
+};
+
+ElderPass RunElderPass(const ScalarTree& tree) {
+  const uint32_t n = tree.NumNodes();
+  const std::vector<VertexId>& order = tree.SweepOrder();
+  ElderPass pass;
+  pass.best.assign(n, kInvalidVertex);
+  for (uint32_t k = 0; k < n; ++k) {
+    const VertexId v = order[k];
+    if (pass.best[v] == kInvalidVertex) pass.best[v] = k;  // leaf: born here
+    const VertexId p = tree.Parent(v);
+    if (p == kInvalidVertex) {
+      // v is its component's root (minimum); the eldest branch never
+      // merges — the essential pair of this component.
+      const VertexId birth = order[pass.best[v]];
+      pass.pairs.push_back(PersistencePair{birth, kInvalidVertex,
+                                           tree.Value(birth), tree.Value(v),
+                                           true});
+      pass.carrier_rank.push_back(pass.best[v]);
+      continue;
+    }
+    if (pass.best[p] == kInvalidVertex) {
+      pass.best[p] = pass.best[v];
+      continue;
+    }
+    uint32_t dying = pass.best[v], surviving = pass.best[p];
+    if (dying < surviving) std::swap(dying, surviving);  // elder survives
+    pass.best[p] = surviving;
+    const VertexId birth = order[dying];
+    pass.pairs.push_back(PersistencePair{birth, p, tree.Value(birth),
+                                         tree.Value(p), false});
+    pass.carrier_rank.push_back(dying);
+  }
+  return pass;
+}
+
+}  // namespace
+
+std::vector<PersistencePair> PersistencePairs(const ScalarTree& tree) {
+  std::vector<PersistencePair> pairs = RunElderPass(tree).pairs;
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PersistencePair& a, const PersistencePair& b) {
+              if (a.essential != b.essential) return a.essential;
+              const double pa = a.Persistence(), pb = b.Persistence();
+              if (pa != pb) return pa > pb;
+              return a.birth_element < b.birth_element;
+            });
+  return pairs;
+}
+
+std::vector<double> PersistenceSimplifiedValues(const ScalarTree& tree,
+                                                double min_persistence) {
+  const uint32_t n = tree.NumNodes();
+  std::vector<double> values(tree.Values());
+  if (min_persistence <= 0.0 || n == 0) return values;
+
+  const ElderPass pass = RunElderPass(tree);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // ceiling[rank of carrier leaf] = the value its branch clamps to, with
+  // nested cancellations cascaded through the branch a feature died
+  // into. A dying branch's death node belongs to a strictly elder
+  // branch, so processing pairs by ascending carrier rank resolves every
+  // parent ceiling first.
+  std::vector<double> ceiling(n, kInf);
+  std::vector<uint32_t> by_rank(pass.pairs.size());
+  for (uint32_t i = 0; i < by_rank.size(); ++i) by_rank[i] = i;
+  std::sort(by_rank.begin(), by_rank.end(),
+            [&pass](uint32_t a, uint32_t b) {
+              return pass.carrier_rank[a] < pass.carrier_rank[b];
+            });
+  for (const uint32_t i : by_rank) {
+    const PersistencePair& pair = pass.pairs[i];
+    if (pair.essential) continue;  // essential peaks always survive
+    const double own =
+        pair.Persistence() < min_persistence ? pair.death : kInf;
+    const double parent = ceiling[pass.best[pair.death_element]];
+    ceiling[pass.carrier_rank[i]] = std::min(own, parent);
+  }
+
+  for (uint32_t v = 0; v < n; ++v) {
+    values[v] = std::min(values[v], ceiling[pass.best[v]]);
+  }
+  return values;
+}
+
+SuperTree SimplifyByPersistence(const Graph& g,
+                                const VertexScalarField& field,
+                                double min_persistence) {
+  const ScalarTree tree = BuildVertexScalarTree(g, field);
+  if (min_persistence <= 0.0) return SuperTree(tree);
+  return SuperTree(BuildVertexScalarTree(
+      g, VertexScalarField(field.Name(),
+                           PersistenceSimplifiedValues(tree,
+                                                       min_persistence))));
+}
+
+SuperTree SimplifyEdgeByPersistence(const Graph& g,
+                                    const EdgeScalarField& field,
+                                    double min_persistence) {
+  const ScalarTree tree = BuildEdgeScalarTree(g, field);
+  if (min_persistence <= 0.0) return SuperTree(tree);
+  return SuperTree(BuildEdgeScalarTree(
+      g, EdgeScalarField(field.Name(),
+                         PersistenceSimplifiedValues(tree,
+                                                     min_persistence))));
+}
+
+}  // namespace graphscape

@@ -16,10 +16,11 @@ ScalarTree BuildVertexScalarTree(const Graph& g,
   assert(field.Size() == n);
   const std::vector<double>& values = field.Values();
 
-  // The single sort: vertices by (value, id). rank[v] is v's position in
-  // that order; comparing ranks is the total order used everywhere below.
+  // The single sort: vertices by (value desc, id asc) — superlevel sweep
+  // order. rank[v] is v's position in that order; comparing ranks is the
+  // total order used everywhere below.
   std::vector<uint32_t> order, rank;
-  tree_core::SortByValueThenId(values, &order, &rank);
+  tree_core::SortSweepOrder(values, &order, &rank);
 
   // Union-find state + the tree arena, all sized up front. `head[r]` is the
   // highest-rank vertex swept so far in the component rooted at r — the
@@ -31,11 +32,11 @@ ScalarTree BuildVertexScalarTree(const Graph& g,
   std::iota(head.begin(), head.end(), 0u);
   std::vector<VertexId> parents(n, kInvalidVertex);
 
-  // Sweep. For w at rank k, every CSR neighbor u with rank[u] < k is exactly
-  // an edge whose activation key max(rank(u), rank(w)) == k; visiting w in
-  // rank order therefore processes all m edges in nondecreasing key order
-  // with no materialized edge array. This loop performs zero heap
-  // allocations.
+  // Sweep. For w at rank k, every CSR neighbor u with rank[u] < k (a
+  // higher-valued vertex, already swept) is exactly an edge whose
+  // activation key max(rank(u), rank(w)) == k; visiting w in rank order
+  // therefore processes all m edges in nondecreasing key order with no
+  // materialized edge array. This loop performs zero heap allocations.
   uint32_t* const uf_data = uf.data();
   uint32_t* const size_data = comp_size.data();
   VertexId* const head_data = head.data();
@@ -45,10 +46,10 @@ ScalarTree BuildVertexScalarTree(const Graph& g,
     const VertexId w = order[k];
     uint32_t rw = tree_core::Find(uf_data, w);
     for (const VertexId u : g.Neighbors(w)) {
-      if (rank_data[u] >= k) continue;  // activates later, when u is higher
+      if (rank_data[u] >= k) continue;  // activates later, when u is swept
       const uint32_t ru = tree_core::Find(uf_data, u);
       if (ru == rw) continue;
-      // The lower component's head merges into the sweep vertex w.
+      // The higher component's head merges into the sweep vertex w.
       rw = tree_core::AttachAndUnion(ru, rw, w, uf_data, size_data,
                                      head_data, parent_data);
     }

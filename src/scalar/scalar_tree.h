@@ -4,21 +4,23 @@
 // Algorithm 1 (paper §II-C): the vertex scalar tree.
 //
 // Every graph vertex is a tree node; Parent(v) is the vertex at which v's
-// level-set component merges into a higher one. Values are non-decreasing
-// toward the root: leaves are local minima of the field, each connected
-// component's root is its maximum. Ties are broken by vertex id, giving a
-// total order ("rank") and a deterministic tree for duplicate-heavy fields.
+// superlevel-set component G[t] = {x : f(x) >= t} merges into a component
+// born higher. Values are non-increasing toward the root: leaves are
+// local maxima of the field (the paper's peaks — dense cores under
+// K-Core/K-Truss fields), each connected component's root is its minimum.
+// Ties are broken by ascending vertex id, giving a total order ("rank")
+// and a deterministic tree for duplicate-heavy fields.
 //
 // Construction is engineered for the memory-bound reality of merge trees
-// (cf. TACHYON): ONE sort — vertices by (value, id) — then a union-find
-// sweep over edges in nondecreasing activation order. An edge {u, v}
-// activates at key max(rank(u), rank(v)); walking vertices in rank order and
-// scanning each one's CSR run enumerates edges already grouped and sorted by
-// that key, so the per-edge counting sort is implicit in the CSR layout and
-// costs zero extra passes. The sweep uses path-halving find with union by
-// size over three pre-sized flat uint32 arrays; tree nodes live in the
-// parallel arrays below (a struct-of-arrays arena) — no per-node heap
-// allocation anywhere in the loop.
+// (cf. TACHYON): ONE sort — vertices by (value desc, id asc) — then a
+// union-find sweep over edges in nondecreasing activation order. An edge
+// {u, v} activates at key max(rank(u), rank(v)); walking vertices in rank
+// order and scanning each one's CSR run enumerates edges already grouped
+// and sorted by that key, so the per-edge counting sort is implicit in the
+// CSR layout and costs zero extra passes. The sweep uses path-halving find
+// with union by size over three pre-sized flat uint32 arrays; tree nodes
+// live in the parallel arrays below (a struct-of-arrays arena) — no
+// per-node heap allocation anywhere in the loop.
 
 #ifndef GRAPHSCAPE_SCALAR_SCALAR_TREE_H_
 #define GRAPHSCAPE_SCALAR_SCALAR_TREE_H_
@@ -57,9 +59,10 @@ class ScalarTree {
   const std::vector<VertexId>& Parents() const { return parents_; }
   const std::vector<double>& Values() const { return values_; }
 
-  /// Node ids in ascending (value, id) order — the sweep order of
-  /// Algorithms 1/3. Parents always appear AFTER their children here, which
-  /// is what lets Algorithm 2 run as a single linear pass.
+  /// Node ids in (value descending, id ascending) order — the superlevel
+  /// sweep order of Algorithms 1/3. Parents always appear AFTER their
+  /// children here, which is what lets Algorithm 2 run as a single linear
+  /// pass.
   const std::vector<VertexId>& SweepOrder() const { return order_; }
 
  private:

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "scalar/tree_core.h"
+#include "scalar/tree_queries.h"
 
 namespace graphscape {
 
@@ -18,6 +19,21 @@ SuperTree::SuperTree(const ScalarTree& tree) {
   member_counts_ = std::move(c.member_counts);
   node_of_ = std::move(c.node_of);
   num_roots_ = c.num_roots;
+}
+
+const TreeMemberIndex& SuperTree::MemberIndex() const {
+  if (!member_index_) {
+    member_index_ = std::make_shared<const TreeMemberIndex>(*this);
+  }
+  return *member_index_;
+}
+
+MemberRange SuperTree::Members(uint32_t node) const {
+  return MemberIndex().Members(node);
+}
+
+MemberRange SuperTree::SubtreeMembers(uint32_t node) const {
+  return MemberIndex().SubtreeMembers(node);
 }
 
 }  // namespace graphscape

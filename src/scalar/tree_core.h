@@ -9,21 +9,29 @@
 //
 // The invariants that make one core serve both element types:
 //
-//  * Rank sort (SortByValueThenId). Ties broken by id give a TOTAL order
-//    over field elements, so "the component containing x when element y
-//    is swept" is well defined even on plateau-heavy integer fields
-//    (K-Core, K-Truss). Both algorithms sweep strictly in rank order;
-//    every downstream structure quotes ranks, never raw values.
+//  * Rank sort (SortSweepOrder). The sweep runs DESCENDING in value —
+//    the paper's superlevel-set orientation, G[t] = {x : f(x) >= t} —
+//    because the analysis layer's whole vocabulary (peaks, dense cores,
+//    persistence of maxima) is about components of superlevel sets: a
+//    minima-first sweep provably cannot answer "how many disconnected
+//    dense cores exist at level t" (two disconnected K-max cores would
+//    contract into one same-value chain). Ties broken by ascending id
+//    give a TOTAL order over field elements, so "the component
+//    containing x when element y is swept" is well defined even on
+//    plateau-heavy integer fields (K-Core, K-Truss). Both algorithms
+//    sweep strictly in rank order; every downstream structure quotes
+//    ranks, never raw values.
 //
 //  * Attach-and-union (AttachAndUnion). A union-find root stands for one
-//    growing level-set component; head[root] is the LAST element of that
-//    component the sweep has seen. When the element being swept touches
-//    a component, the component's head becomes its child — then the two
-//    union-find classes merge by size and the surviving root's head
-//    becomes the swept element. Consequences both paths rely on: parents
-//    appear after children in sweep order (SweepOrder()), values are
-//    non-decreasing toward the root, and Algorithm 2 can contract in ONE
-//    reverse pass (ContractSameValueChains).
+//    growing superlevel-set component; head[root] is the LAST element of
+//    that component the sweep has seen. When the element being swept
+//    touches a component, the component's head becomes its child — then
+//    the two union-find classes merge by size and the surviving root's
+//    head becomes the swept element. Consequences both paths rely on:
+//    parents appear after children in sweep order (SweepOrder()), values
+//    are non-increasing toward the root (leaves are local maxima, each
+//    component's root is its minimum), and Algorithm 2 can contract in
+//    ONE reverse pass (ContractSameValueChains).
 //
 //  * Element-space neutrality. Nothing here touches the graph: Algorithm
 //    1 feeds vertex ids whose adjacency comes from CSR runs; Algorithm 3
@@ -61,19 +69,20 @@ inline uint32_t Find(uint32_t* uf, uint32_t x) {
   return x;
 }
 
-// The single sort both algorithms hinge on: node ids by (value, id).
-// Fills *order with the sorted ids and *rank with its inverse; comparing
-// ranks is the total order used by every sweep.
-inline void SortByValueThenId(const std::vector<double>& values,
-                              std::vector<uint32_t>* order,
-                              std::vector<uint32_t>* rank) {
+// The single sort both algorithms hinge on: node ids by (value
+// descending, id ascending) — the superlevel sweep order. Fills *order
+// with the sorted ids and *rank with its inverse; comparing ranks is the
+// total order used by every sweep (rank 0 is the global maximum).
+inline void SortSweepOrder(const std::vector<double>& values,
+                           std::vector<uint32_t>* order,
+                           std::vector<uint32_t>* rank) {
   const uint32_t n = static_cast<uint32_t>(values.size());
   order->resize(n);
   std::iota(order->begin(), order->end(), 0u);
   std::sort(order->begin(), order->end(),
             [&values](uint32_t a, uint32_t b) {
               const double fa = values[a], fb = values[b];
-              return fa < fb || (fa == fb && a < b);
+              return fa > fb || (fa == fb && a < b);
             });
   rank->resize(n);
   for (uint32_t i = 0; i < n; ++i) (*rank)[(*order)[i]] = i;

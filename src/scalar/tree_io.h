@@ -1,0 +1,76 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Versioned, deterministic binary (de)serialization of super trees and
+// their fields — the artifact format CI and the figure pipeline exchange
+// (a built tree is the expensive part; terrains and queries re-derive
+// from it). Design constraints, in order:
+//
+//  * Deterministic: the same SuperTree serializes to the same bytes on
+//    every platform and compiler — fixed little-endian encoding, no
+//    padding, doubles as IEEE-754 bit patterns. CI pins this by
+//    serializing on gcc and re-serializing on clang, byte-identical.
+//  * Self-validating: deserialization trusts nothing. Magic + version
+//    up front, an FNV-1a checksum at the end, and every structural
+//    invariant of the contraction (parents precede children, values
+//    strictly decrease toward the root, member counts partition the
+//    elements, node_of agrees with member_counts) is checked before a
+//    SuperTree is constructed — a corrupt or adversarial file yields
+//    InvalidArgument, never a broken tree.
+//  * Versioned: kTreeIoVersion bumps on any layout change; old readers
+//    reject newer files instead of misreading them.
+//
+// Layout (version 1), all integers little-endian:
+//   "GSTA" | u32 version | u32 num_nodes | u32 num_elements |
+//   u32 num_roots | u8 has_field | u32 name_len | name bytes |
+//   f64 node_values[num_nodes] | u32 node_parents[num_nodes] |
+//   u32 member_counts[num_nodes] | u32 node_of[num_elements] |
+//   f64 field_values[num_elements if has_field] | u64 fnv1a(payload)
+
+#ifndef GRAPHSCAPE_SCALAR_TREE_IO_H_
+#define GRAPHSCAPE_SCALAR_TREE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "scalar/super_tree.h"
+
+namespace graphscape {
+
+inline constexpr uint32_t kTreeIoVersion = 1;
+
+/// A super tree plus (optionally) the element field it was built from —
+/// vertex values for vertex trees, edge values for edge trees.
+/// field_values is either empty or exactly NumElements() long.
+struct TreeArtifact {
+  SuperTree tree;
+  std::string field_name;
+  std::vector<double> field_values;
+};
+
+/// The artifact as bytes (layout above). Deterministic: equal artifacts
+/// produce equal strings everywhere. A non-empty field of the wrong
+/// length throws std::invalid_argument in every build type.
+std::string SerializeTreeArtifact(const TreeArtifact& artifact);
+
+/// Parses and fully validates. InvalidArgument on bad magic, newer
+/// version, truncation, checksum mismatch, or any violated tree
+/// invariant.
+StatusOr<TreeArtifact> DeserializeTreeArtifact(const std::string& bytes);
+
+/// Serialize to / parse from a file. File errors map to
+/// InvalidArgument with the path in the message.
+Status SaveTreeArtifact(const TreeArtifact& artifact,
+                        const std::string& path);
+StatusOr<TreeArtifact> LoadTreeArtifact(const std::string& path);
+
+/// The whole file as bytes — the read half of LoadTreeArtifact, exposed
+/// for callers (tools/tree_io_check.cc) that byte-compare artifacts
+/// against re-serializations.
+StatusOr<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_SCALAR_TREE_IO_H_

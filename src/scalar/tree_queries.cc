@@ -1,0 +1,133 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "scalar/tree_queries.h"
+
+#include <algorithm>
+
+namespace graphscape {
+
+TreeMemberIndex::TreeMemberIndex(const SuperTree& tree) {
+  const uint32_t n = tree.NumNodes();
+  const uint32_t m = tree.NumElements();
+
+  // Children in CSR form via one counting sort over the parent array.
+  std::vector<uint32_t> child_offsets(n + 1, 0);
+  for (uint32_t node = 0; node < n; ++node) {
+    const uint32_t p = tree.Parent(node);
+    if (p != kNoParent) ++child_offsets[p + 1];
+  }
+  for (uint32_t i = 0; i < n; ++i) child_offsets[i + 1] += child_offsets[i];
+  std::vector<uint32_t> children(child_offsets[n]);
+  {
+    std::vector<uint32_t> cursor(child_offsets.begin(),
+                                 child_offsets.end() - 1);
+    for (uint32_t node = 0; node < n; ++node) {
+      const uint32_t p = tree.Parent(node);
+      if (p != kNoParent) children[cursor[p]++] = node;
+    }
+  }
+
+  // Subtree node counts without DFS state: Parent(node) < node, so one
+  // descending pass accumulates children before their parents are read.
+  std::vector<uint32_t> subtree_nodes(n, 1);
+  subtree_max_.resize(n);
+  for (uint32_t node = 0; node < n; ++node)
+    subtree_max_[node] = tree.Value(node);
+  for (uint32_t node = n; node-- > 0;) {
+    const uint32_t p = tree.Parent(node);
+    if (p == kNoParent) continue;
+    subtree_nodes[p] += subtree_nodes[node];
+    subtree_max_[p] = std::max(subtree_max_[p], subtree_max_[node]);
+  }
+
+  // Preorder (Euler) positions: every subtree becomes one contiguous run
+  // [euler_pos_, subtree_end_). Roots in ascending id order, children in
+  // ascending id order (the CSR fill above emits them sorted).
+  euler_pos_.resize(n);
+  subtree_end_.resize(n);
+  std::vector<uint32_t> node_at_pos(n);
+  std::vector<uint32_t> stack;
+  stack.reserve(n);  // keeps the build's allocation count size-independent
+  uint32_t next_pos = 0;
+  for (uint32_t root = n; root-- > 0;) {
+    if (tree.Parent(root) == kNoParent) stack.push_back(root);
+  }
+  while (!stack.empty()) {
+    const uint32_t node = stack.back();
+    stack.pop_back();
+    euler_pos_[node] = next_pos;
+    subtree_end_[node] = next_pos + subtree_nodes[node];
+    node_at_pos[next_pos] = node;
+    ++next_pos;
+    const uint32_t begin = child_offsets[node], end = child_offsets[node + 1];
+    for (uint32_t c = end; c-- > begin;) stack.push_back(children[c]);
+  }
+
+  // Member CSR over Euler positions; scattering elements in ascending id
+  // order leaves every per-node slice sorted.
+  member_offsets_.assign(n + 1, 0);
+  for (uint32_t pos = 0; pos < n; ++pos)
+    member_offsets_[pos + 1] = tree.MemberCount(node_at_pos[pos]);
+  for (uint32_t i = 0; i < n; ++i)
+    member_offsets_[i + 1] += member_offsets_[i];
+  members_.resize(m);
+  std::vector<uint32_t> cursor(member_offsets_.begin(),
+                               member_offsets_.end() - 1);
+  for (uint32_t e = 0; e < m; ++e)
+    members_[cursor[euler_pos_[tree.NodeOf(e)]]++] = e;
+}
+
+std::vector<Peak> PeaksAtLevel(const SuperTree& tree, double level) {
+  const TreeMemberIndex& index = tree.MemberIndex();
+  std::vector<Peak> peaks;
+  for (uint32_t node = 0; node < tree.NumNodes(); ++node) {
+    if (tree.Value(node) < level) continue;
+    const uint32_t p = tree.Parent(node);
+    if (p != kNoParent && tree.Value(p) >= level) continue;
+    peaks.push_back(Peak{node, index.SubtreeMemberCount(node),
+                         index.SubtreeMaxValue(node)});
+  }
+  std::sort(peaks.begin(), peaks.end(), [](const Peak& a, const Peak& b) {
+    if (a.max_scalar != b.max_scalar) return a.max_scalar > b.max_scalar;
+    if (a.member_count != b.member_count)
+      return a.member_count > b.member_count;
+    return a.super_node < b.super_node;
+  });
+  return peaks;
+}
+
+uint32_t CountComponentsAtLevel(const SuperTree& tree, double level) {
+  uint32_t count = 0;
+  for (uint32_t node = 0; node < tree.NumNodes(); ++node) {
+    if (tree.Value(node) < level) continue;
+    const uint32_t p = tree.Parent(node);
+    if (p == kNoParent || tree.Value(p) < level) ++count;
+  }
+  return count;
+}
+
+std::vector<Peak> TopPeaks(const SuperTree& tree, uint32_t k) {
+  const uint32_t n = tree.NumNodes();
+  std::vector<char> has_child(n, 0);
+  for (uint32_t node = 0; node < n; ++node) {
+    const uint32_t p = tree.Parent(node);
+    if (p != kNoParent) has_child[p] = 1;
+  }
+  std::vector<Peak> leaves;
+  for (uint32_t node = 0; node < n; ++node) {
+    if (has_child[node]) continue;
+    leaves.push_back(Peak{node, tree.MemberCount(node), tree.Value(node)});
+  }
+  const size_t keep = std::min<size_t>(k, leaves.size());
+  std::partial_sort(leaves.begin(), leaves.begin() + keep, leaves.end(),
+                    [](const Peak& a, const Peak& b) {
+                      if (a.max_scalar != b.max_scalar)
+                        return a.max_scalar > b.max_scalar;
+                      return a.super_node < b.super_node;
+                    });
+  leaves.resize(keep);
+  return leaves;
+}
+
+}  // namespace graphscape

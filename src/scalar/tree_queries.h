@@ -1,0 +1,99 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Analysis queries over super trees (paper §II-D/§III): member
+// iteration, superlevel-component counting, and peak enumeration — the
+// read side every figure bench drills into after construction.
+//
+// The workhorse is TreeMemberIndex, built once per tree (lazily, via
+// SuperTree::MemberIndex()) in O(elements):
+//
+//  * a CSR member index — elements grouped by super node, so
+//    Members(node) is one contiguous slice;
+//  * Euler-tour (preorder) subtree ranges — nodes laid out so every
+//    subtree is one contiguous run of positions, so SubtreeMembers(node)
+//    is ALSO one contiguous slice of the same member array. Both queries
+//    are O(1) plus the members visited — no per-query traversal.
+//
+// Peak vocabulary (superlevel orientation, scalar/tree_core.h): values
+// decrease toward the root, so the superlevel set {x : f(x) >= level} is
+// a union of whole subtrees. Each maximal such subtree — a node at or
+// above the level whose parent is below it — is one connected component
+// of the superlevel set: a "peak" in the paper's terrain metaphor, with
+// its summit at the subtree's maximum value.
+
+#ifndef GRAPHSCAPE_SCALAR_TREE_QUERIES_H_
+#define GRAPHSCAPE_SCALAR_TREE_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "scalar/super_tree.h"
+
+namespace graphscape {
+
+/// Root marker, as the peak-inspection call sites read it.
+inline constexpr uint32_t kNoParent = kInvalidSuperNode;
+
+/// The query index behind Members/SubtreeMembers/PeaksAtLevel. Relies on
+/// the contraction invariant Parent(node) < node (tree_io validates it
+/// for deserialized trees).
+class TreeMemberIndex {
+ public:
+  explicit TreeMemberIndex(const SuperTree& tree);
+
+  /// Elements contracted into exactly `node`, ascending.
+  MemberRange Members(uint32_t node) const {
+    const uint32_t pos = euler_pos_[node];
+    return MemberRange{members_.data() + member_offsets_[pos],
+                       members_.data() + member_offsets_[pos + 1]};
+  }
+
+  /// Elements of `node`'s whole subtree (one contiguous Euler run).
+  MemberRange SubtreeMembers(uint32_t node) const {
+    return MemberRange{members_.data() + member_offsets_[euler_pos_[node]],
+                       members_.data() + member_offsets_[subtree_end_[node]]};
+  }
+
+  uint32_t SubtreeMemberCount(uint32_t node) const {
+    return member_offsets_[subtree_end_[node]] -
+           member_offsets_[euler_pos_[node]];
+  }
+
+  /// The summit: maximum value over `node`'s subtree.
+  double SubtreeMaxValue(uint32_t node) const { return subtree_max_[node]; }
+
+ private:
+  std::vector<uint32_t> euler_pos_;       // node -> preorder position
+  std::vector<uint32_t> subtree_end_;     // node -> one-past-last position
+  std::vector<uint32_t> member_offsets_;  // position -> member slot (N + 1)
+  std::vector<uint32_t> members_;         // elements grouped by position
+  std::vector<double> subtree_max_;       // node -> summit value
+};
+
+/// One connected component of a superlevel set.
+struct Peak {
+  uint32_t super_node;    ///< component top: at/above the level, parent below
+  uint32_t member_count;  ///< elements in the whole component (subtree)
+  double max_scalar;      ///< summit value inside the component
+};
+
+/// Connected components of {x : f(x) >= level}, most prominent first
+/// (summit desc, then size desc, then node id). Builds/reuses the
+/// tree's member index.
+std::vector<Peak> PeaksAtLevel(const SuperTree& tree, double level);
+
+/// Component count of {x : f(x) >= level} alone — one O(nodes) scan, no
+/// member index needed. The level-quantized sweep over a simplified tree
+/// (§II-E) makes repeated calls cheap.
+uint32_t CountComponentsAtLevel(const SuperTree& tree, double level);
+
+/// The k highest local maxima: leaf super nodes ranked by value (desc,
+/// ties by node id). member_count/max_scalar describe the leaf itself —
+/// the innermost plateau of each peak, e.g. the densest core proper for
+/// a K-Core field.
+std::vector<Peak> TopPeaks(const SuperTree& tree, uint32_t k);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_SCALAR_TREE_QUERIES_H_

@@ -20,6 +20,7 @@
 #include "scalar/edge_scalar_tree.h"
 #include "scalar/scalar_tree.h"
 #include "scalar/super_tree.h"
+#include "scalar/tree_queries.h"
 
 namespace {
 std::atomic<uint64_t> g_alloc_count{0};
@@ -90,6 +91,35 @@ TEST(AllocationDisciplineTest, EdgeBuildAllocationCountIsConstantInGraphSize) {
   // The endpoint pair of arrays + Algorithm 3's six + the field copy +
   // Algorithm 2's five; same headroom rule as the vertex bound.
   EXPECT_LE(large, 28u);
+}
+
+uint64_t AllocationsDuringIndexBuild(uint32_t n) {
+  Rng rng(42);
+  const Graph g = BarabasiAlbert(n, 4, &rng);
+  Rng field_rng(7);
+  std::vector<double> values(g.NumVertices());
+  for (auto& v : values)
+    v = static_cast<double>(field_rng.UniformInt(32));
+  const VertexScalarField field("f", values);
+  const SuperTree super(BuildVertexScalarTree(g, field));
+
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const TreeMemberIndex index(super);
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_GT(index.SubtreeMemberCount(0), 0u);
+  return after - before;
+}
+
+TEST(AllocationDisciplineTest, MemberIndexBuildAllocatesConstantArrays) {
+  // The query index is the same flat-array discipline: a fixed set of
+  // pre-sized vectors (children CSR, Euler positions, member CSR, the
+  // reserved DFS stack) — nothing per node or per member.
+  const uint64_t small = AllocationsDuringIndexBuild(1 << 8);
+  const uint64_t large = AllocationsDuringIndexBuild(1 << 14);
+  EXPECT_EQ(small, large)
+      << "allocation count scales with tree size - something allocates "
+         "inside the index build loops";
+  EXPECT_LE(large, 16u);
 }
 
 }  // namespace

