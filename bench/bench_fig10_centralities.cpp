@@ -30,8 +30,9 @@ int main() {
   DatasetOptions options;
   if (bench::FullScale()) options.scale_divisor = 1;
   const Dataset astro = MakeDataset(DatasetId::kAstro, options);
-  std::printf("Astro-like: %u vertices, %u edges\n",
-              astro.graph.NumVertices(), astro.graph.NumEdges());
+  std::printf("Astro-like: %u vertices, %llu edges\n",
+              astro.graph.NumVertices(),
+              static_cast<unsigned long long>(astro.graph.NumEdges()));
 
   const VertexScalarField degree("degree", DegreeCentrality(astro.graph));
   BetweennessOptions bo;

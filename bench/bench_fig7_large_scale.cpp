@@ -29,9 +29,10 @@ void Run(DatasetId id, const std::string& out) {
   if (bench::FullScale()) options.scale_divisor = 1;
   WallTimer timer;
   const Dataset ds = MakeDataset(id, options);
-  std::printf("%s (1/%u scale): %u vertices, %u edges [gen %.1fs]\n",
+  std::printf("%s (1/%u scale): %u vertices, %llu edges [gen %.1fs]\n",
               ds.spec.name, ds.scale_divisor, ds.graph.NumVertices(),
-              ds.graph.NumEdges(), timer.Seconds());
+              static_cast<unsigned long long>(ds.graph.NumEdges()),
+              timer.Seconds());
 
   // K-Core terrain.
   timer.Restart();

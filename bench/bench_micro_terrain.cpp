@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "gen/generators.h"
+#include "layout/spring_layout.h"
 #include "metrics/kcore.h"
 #include "scalar/scalar_tree.h"
 #include "scalar/super_tree.h"
@@ -75,6 +76,21 @@ void BM_RenderOblique(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RenderOblique)->RangeMultiplier(2)->Range(128, 512);
+
+void BM_SpringLayout(benchmark::State& state) {
+  CollaborationOptions options;
+  options.num_vertices = static_cast<uint32_t>(state.range(0));
+  options.num_groups = options.num_vertices / 2;
+  Rng rng(5);
+  const Graph g = CollaborationNetwork(options, &rng);
+  SpringLayoutOptions spring;
+  spring.iterations = 20;
+  for (auto _ : state) benchmark::DoNotOptimize(SpringLayout(g, spring));
+  // Throughput in vertex-iterations: the grid-binned loop's unit of work.
+  state.SetItemsProcessed(state.iterations() * g.NumVertices() *
+                          spring.iterations);
+}
+BENCHMARK(BM_SpringLayout)->Range(1 << 12, 1 << 14);
 
 void BM_RenderTopDown(benchmark::State& state) {
   const SuperTree tree = BenchTree(1 << 14);

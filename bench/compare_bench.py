@@ -11,12 +11,17 @@ Usage:
 Tracked rows:
 
   * Microbenchmark throughput (items_per_second) for the hot paths:
-    Algorithm 1 (vertex tree), Algorithm 3 (edge tree), and the analysis
-    layer's member index / persistence scans. A row regressing by more
-    than --max-regression (default 25%) fails the gate. A tracked row
-    missing from CURRENT fails too — a bench silently disappearing is a
-    regression. A row missing from BASELINE is reported and skipped
-    (re-baseline to start tracking it).
+    Algorithm 1 (vertex tree), Algorithm 3 (edge tree), the analysis
+    layer's member index / persistence scans, and the terrain pipeline
+    (rasterization pixels/s, spring layout vertex-iterations/s). A row
+    regressing by more than --max-regression (default 25%) fails the
+    gate. A tracked row missing from CURRENT fails too — a bench
+    silently disappearing is a regression. A row missing from BASELINE
+    is reported and skipped (re-baseline to start tracking it).
+
+  * Microbenchmark latency (real_time, lower is better) for hot paths
+    that report no item counter — the terrain layout construction under
+    both split policies. Same regression bound, inverted.
 
   * Table II construction times, aggregated: the sum of tc over all
     KC(v) rows, the sum over all KT(e) rows, and the sum of the numeric
@@ -48,6 +53,14 @@ TRACKED_BENCHMARKS = [
     "BM_MemberIndexBuild/131072",
     "BM_MembersFullScan/131072",
     "BM_PersistencePairs/131072",
+    "BM_Rasterize/512",
+    "BM_SpringLayout/16384",
+]
+
+# real_time rows (ns, lower is better): benches without an item counter.
+TRACKED_TIME_BENCHMARKS = [
+    "BM_Layout_SliceDice/65536",
+    "BM_Layout_Balanced/65536",
 ]
 
 TABLE2_ROW = re.compile(
@@ -60,6 +73,15 @@ def load_benchmarks(merged):
     for entry in merged.get("benchmarks", []):
         if "items_per_second" in entry:
             rows[entry["name"]] = float(entry["items_per_second"])
+    return rows
+
+
+def load_times(merged):
+    """name -> real_time (ns) for every benchmark entry."""
+    rows = {}
+    for entry in merged.get("benchmarks", []):
+        if "real_time" in entry:
+            rows[entry["name"]] = float(entry["real_time"])
     return rows
 
 
@@ -143,6 +165,31 @@ def main():
         if not ok:
             failures.append(
                 f"{name}: {cur_value:.3e} items/s vs baseline "
+                f"{base_value:.3e} ({delta:+.1%})")
+
+    # Latency rows: lower is better, same bound inverted.
+    base_times = load_times(baseline)
+    cur_times = load_times(current)
+    for name in TRACKED_TIME_BENCHMARKS:
+        if name not in base_times:
+            print(f"{name:44s} {'-':>12s} {'-':>12s} {'-':>8s}  "
+                  f"SKIP (not in baseline; re-baseline to track)")
+            continue
+        base_value = base_times[name]
+        if name not in cur_times:
+            print(f"{name:44s} {base_value:12.3e} {'-':>12s} {'-':>8s}  "
+                  f"FAIL (missing from current run)")
+            failures.append(f"{name} missing from current run")
+            continue
+        cur_value = cur_times[name]
+        delta = cur_value / base_value - 1.0
+        ok = cur_value <= base_value / (1.0 - args.max_regression)
+        verdict = "ok" if ok else "FAIL"
+        print(f"{name:44s} {base_value:12.3e} {cur_value:12.3e} "
+              f"{delta:+7.1%}  {verdict}")
+        if not ok:
+            failures.append(
+                f"{name}: {cur_value:.3e} ns vs baseline "
                 f"{base_value:.3e} ({delta:+.1%})")
 
     # Table II aggregates: lower is better.

@@ -44,16 +44,12 @@ class EdgeIndex {
     const std::vector<uint32_t>& offsets = g.Offsets();
     const std::vector<VertexId>& adj = g.Adjacency();
     slot_eid_.resize(adj.size());
-    eu_.resize(static_cast<size_t>(g.NumEdges()));
-    ev_.resize(static_cast<size_t>(g.NumEdges()));
     uint32_t next = 0;
     for (VertexId u = 0; u < n; ++u) {
       for (uint32_t s = offsets[u]; s < offsets[u + 1]; ++s) {
         const VertexId v = adj[s];
         if (u < v) {
           slot_eid_[s] = next;
-          eu_[next] = u;
-          ev_[next] = v;
           ++next;
         } else {
           // v < u, so v's run already minted the id; find u's slot in it.
@@ -66,13 +62,21 @@ class EdgeIndex {
     }
   }
 
-  uint32_t NumEdges() const { return static_cast<uint32_t>(eu_.size()); }
+  uint32_t NumEdges() const {
+    return static_cast<uint32_t>(graph_->NumEdges());
+  }
 
-  /// Endpoints of edge e, U(e) < V(e).
-  VertexId U(uint32_t e) const { return eu_[e]; }
-  VertexId V(uint32_t e) const { return ev_[e]; }
-  const std::vector<VertexId>& EndpointsU() const { return eu_; }
-  const std::vector<VertexId>& EndpointsV() const { return ev_; }
+  /// Endpoints of edge e, U(e) < V(e). Served by the graph's own
+  /// EdgeList-order endpoint arrays — the ids minted here agree with
+  /// Graph::EdgeEndpoints by construction (same CSR traversal order).
+  VertexId U(uint32_t e) const { return graph_->EdgeSources()[e]; }
+  VertexId V(uint32_t e) const { return graph_->EdgeTargets()[e]; }
+  const std::vector<VertexId>& EndpointsU() const {
+    return graph_->EdgeSources();
+  }
+  const std::vector<VertexId>& EndpointsV() const {
+    return graph_->EdgeTargets();
+  }
 
   /// Edge id of the s-th CSR adjacency slot.
   uint32_t EdgeAtSlot(uint32_t slot) const { return slot_eid_[slot]; }
@@ -92,7 +96,6 @@ class EdgeIndex {
  private:
   const Graph* graph_;
   std::vector<uint32_t> slot_eid_;  // 2m: CSR slot -> edge id
-  std::vector<VertexId> eu_, ev_;   // m: endpoints, eu_[e] < ev_[e]
 };
 
 }  // namespace graphscape

@@ -10,6 +10,12 @@
 // merge-style intersections with perfectly sequential access. There are no
 // per-vertex containers anywhere — a neighborhood scan touches exactly one
 // contiguous cache-line run.
+//
+// Edges additionally carry dense ids in EdgeList order (ascending smaller
+// endpoint, then larger) with O(1) endpoint lookup — the id space every
+// edge-indexed consumer shares (TrussNumbers, EdgeScalarField,
+// graph/edge_index.h). The two m-sized endpoint arrays are derived from
+// the CSR structure at construction in one pass.
 
 #ifndef GRAPHSCAPE_GRAPH_GRAPH_H_
 #define GRAPHSCAPE_GRAPH_GRAPH_H_
@@ -22,6 +28,7 @@
 namespace graphscape {
 
 using VertexId = uint32_t;
+using EdgeId = uint32_t;
 inline constexpr VertexId kInvalidVertex = 0xffffffffu;
 
 class Graph {
@@ -58,6 +65,15 @@ class Graph {
     return std::binary_search(r.begin(), r.end(), v);
   }
 
+  /// Endpoints of edge `e` in EdgeList order, smaller endpoint first.
+  std::pair<VertexId, VertexId> EdgeEndpoints(EdgeId e) const {
+    return {edge_u_[e], edge_v_[e]};
+  }
+
+  /// Raw endpoint arrays (m each, edge_u_[e] < edge_v_[e]).
+  const std::vector<VertexId>& EdgeSources() const { return edge_u_; }
+  const std::vector<VertexId>& EdgeTargets() const { return edge_v_; }
+
   /// Raw CSR arrays, for kernels that index the structure directly.
   const std::vector<uint32_t>& Offsets() const { return offsets_; }
   const std::vector<VertexId>& Adjacency() const { return neighbors_; }
@@ -65,10 +81,24 @@ class Graph {
  private:
   friend class GraphBuilder;
   Graph(std::vector<uint32_t> offsets, std::vector<VertexId> neighbors)
-      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+    edge_u_.resize(neighbors_.size() / 2);
+    edge_v_.resize(neighbors_.size() / 2);
+    EdgeId next = 0;
+    for (VertexId u = 0; u < NumVertices(); ++u) {
+      for (const VertexId v : Neighbors(u)) {
+        if (u < v) {
+          edge_u_[next] = u;
+          edge_v_[next] = v;
+          ++next;
+        }
+      }
+    }
+  }
 
   std::vector<uint32_t> offsets_;   // n + 1; offsets_[n] == neighbors_.size()
   std::vector<VertexId> neighbors_;  // 2m, each per-vertex run sorted
+  std::vector<VertexId> edge_u_, edge_v_;  // m: EdgeList-order endpoints
 };
 
 }  // namespace graphscape

@@ -1,0 +1,111 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "layout/csv_plot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace graphscape {
+
+CsvPlot BuildCsvPlot(const Graph& g, const std::vector<double>& density) {
+  CsvPlot plot;
+  const uint32_t n = g.NumVertices();
+  if (density.size() != n) return plot;
+  plot.order.reserve(n);
+  plot.heights.reserve(n);
+
+  // Greedy densest-first expansion: seed at the global densest unvisited
+  // vertex, then repeatedly pop the densest frontier vertex — dense
+  // subgraphs drain before their sparse surroundings, so each becomes
+  // one contiguous hump. (density asc, id desc) in a max-heap makes the
+  // order deterministic under ties.
+  using Entry = std::pair<double, VertexId>;
+  auto less = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(less)> frontier(
+      less);
+  std::vector<char> seen(n, 0);
+
+  std::vector<VertexId> seeds(n);
+  for (VertexId v = 0; v < n; ++v) seeds[v] = v;
+  std::sort(seeds.begin(), seeds.end(), [&](VertexId a, VertexId b) {
+    if (density[a] != density[b]) return density[a] > density[b];
+    return a < b;
+  });
+
+  for (const VertexId seed : seeds) {
+    if (seen[seed]) continue;
+    seen[seed] = 1;
+    frontier.push({density[seed], seed});
+    while (!frontier.empty()) {
+      const VertexId v = frontier.top().second;
+      frontier.pop();
+      plot.order.push_back(v);
+      plot.heights.push_back(density[v]);
+      for (const VertexId u : g.Neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = 1;
+          frontier.push({density[u], u});
+        }
+      }
+    }
+  }
+
+  if (!plot.heights.empty()) {
+    const auto [lo, hi] =
+        std::minmax_element(plot.heights.begin(), plot.heights.end());
+    plot.min_height = *lo;
+    plot.max_height = *hi;
+  }
+  return plot;
+}
+
+bool WriteCsvPlotSvg(const CsvPlot& plot, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const double width = 700.0, height = 260.0, margin = 20.0;
+  const double plot_w = width - 2.0 * margin;
+  const double plot_h = height - 2.0 * margin;
+  const size_t n = plot.heights.size();
+  const double range = plot.max_height > plot.min_height
+                           ? plot.max_height - plot.min_height
+                           : 1.0;
+  std::fprintf(f,
+               "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%g\" "
+               "height=\"%g\" viewBox=\"0 0 %g %g\">\n",
+               width, height, width, height);
+  std::fprintf(f, "<rect width=\"%g\" height=\"%g\" fill=\"white\"/>\n",
+               width, height);
+  if (n > 0) {
+    std::string area = StrPrintf("M %.2f %.2f", margin, height - margin);
+    for (size_t i = 0; i < n; ++i) {
+      const double x =
+          margin + plot_w * (n > 1 ? static_cast<double>(i) /
+                                         static_cast<double>(n - 1)
+                                   : 0.5);
+      const double y = height - margin -
+                       plot_h * (plot.heights[i] - plot.min_height) / range;
+      area += StrPrintf(" L %.2f %.2f", x, y);
+    }
+    area += StrPrintf(" L %.2f %.2f Z", margin + plot_w, height - margin);
+    std::fprintf(f,
+                 "<path d=\"%s\" fill=\"#93c5fd\" stroke=\"#1d4ed8\" "
+                 "stroke-width=\"1\"/>\n",
+                 area.c_str());
+  }
+  std::fprintf(f,
+               "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" "
+               "stroke=\"#374151\"/>\n",
+               margin, height - margin, width - margin, height - margin);
+  std::fprintf(f, "</svg>\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace graphscape

@@ -1,0 +1,42 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// CSV-style 1D density plot (Fig. 6(g)): vertices are laid out on the x
+// axis in an order that keeps dense subgraphs contiguous — a greedy
+// highest-density-first expansion, always growing the frontier at its
+// densest reachable vertex — and the per-vertex density is drawn as a
+// curve. Dense cores show up as humps, but unlike the terrain there is
+// no second dimension for nesting: two humps may or may not share a
+// foundation, and the plot cannot say. That is the paper's point in
+// including it as a baseline.
+
+#ifndef GRAPHSCAPE_LAYOUT_CSV_PLOT_H_
+#define GRAPHSCAPE_LAYOUT_CSV_PLOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphscape {
+
+struct CsvPlot {
+  /// All vertices, in curve order (a permutation of 0..n-1).
+  std::vector<VertexId> order;
+  /// density[order[i]] — the curve's y value at x position i.
+  std::vector<double> heights;
+  double min_height = 0.0;
+  double max_height = 0.0;
+};
+
+/// Requires density.size() == g.NumVertices(). Deterministic.
+CsvPlot BuildCsvPlot(const Graph& g, const std::vector<double>& density);
+
+/// Renders the curve as a standalone SVG (polyline + filled area).
+/// Returns false if the file cannot be written.
+bool WriteCsvPlotSvg(const CsvPlot& plot, const std::string& path);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_LAYOUT_CSV_PLOT_H_

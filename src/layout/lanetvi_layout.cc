@@ -1,0 +1,130 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "layout/lanetvi_layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "metrics/kcore.h"
+
+namespace graphscape {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Labels each vertex with the connected cluster it forms with same-shell
+// vertices (BFS restricted to one shell), so a shell's clusters can be
+// fanned into separate angular sectors. Returns the number of clusters.
+uint32_t SameShellClusters(const Graph& g, const std::vector<uint32_t>& core,
+                           std::vector<uint32_t>* cluster_of) {
+  const uint32_t n = g.NumVertices();
+  cluster_of->assign(n, kInvalidVertex);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  uint32_t next_cluster = 0;
+  for (VertexId seed = 0; seed < n; ++seed) {
+    if ((*cluster_of)[seed] != kInvalidVertex) continue;
+    const uint32_t shell = core[seed];
+    (*cluster_of)[seed] = next_cluster;
+    queue.clear();
+    queue.push_back(seed);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (const VertexId u : g.Neighbors(v)) {
+        if (core[u] == shell && (*cluster_of)[u] == kInvalidVertex) {
+          (*cluster_of)[u] = next_cluster;
+          queue.push_back(u);
+        }
+      }
+    }
+    ++next_cluster;
+  }
+  return next_cluster;
+}
+
+}  // namespace
+
+LanetViLayoutResult LanetViLayout(const Graph& g,
+                                  const LanetViOptions& options) {
+  LanetViLayoutResult result;
+  const uint32_t n = g.NumVertices();
+  result.core_of = CoreNumbers(g);
+  result.positions.resize(n);
+  for (const uint32_t c : result.core_of)
+    result.max_core = std::max(result.max_core, c);
+  if (n == 0) return result;
+
+  std::vector<uint32_t> cluster_of;
+  const uint32_t num_clusters = SameShellClusters(g, result.core_of,
+                                                  &cluster_of);
+
+  // Per-cluster angular sectors: clusters sorted by (shell, cluster id)
+  // get consecutive slices of the circle, sized by member count, so one
+  // shell's clusters tile the full ring but never interleave.
+  std::vector<uint32_t> cluster_size(num_clusters, 0);
+  for (const uint32_t c : cluster_of) ++cluster_size[c];
+  std::vector<uint32_t> order(num_clusters);
+  for (uint32_t c = 0; c < num_clusters; ++c) order[c] = c;
+  std::vector<uint32_t> cluster_shell(num_clusters);
+  for (VertexId v = 0; v < n; ++v)
+    cluster_shell[cluster_of[v]] = result.core_of[v];
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (cluster_shell[a] != cluster_shell[b])
+      return cluster_shell[a] < cluster_shell[b];
+    return a < b;
+  });
+
+  // Angle ranges per cluster, normalized within each shell.
+  std::vector<double> sector_start(num_clusters, 0.0);
+  std::vector<double> sector_width(num_clusters, 2.0 * kPi);
+  for (size_t i = 0; i < order.size();) {
+    size_t j = i;
+    uint32_t shell_total = 0;
+    while (j < order.size() &&
+           cluster_shell[order[j]] == cluster_shell[order[i]]) {
+      shell_total += cluster_size[order[j]];
+      ++j;
+    }
+    double angle = 0.0;
+    for (size_t p = i; p < j; ++p) {
+      const uint32_t c = order[p];
+      sector_start[c] = angle;
+      sector_width[c] =
+          2.0 * kPi * cluster_size[c] / static_cast<double>(shell_total);
+      angle += sector_width[c];
+    }
+    i = j;
+  }
+
+  // Radius by shell — kmax innermost — with deterministic jitter so
+  // same-cluster vertices spread instead of stacking on one point.
+  Rng rng(options.seed);
+  std::vector<uint32_t> placed_in_cluster(num_clusters, 0);
+  const double rmax = 0.47;  // leave a margin inside the unit square
+  const double shell_step =
+      rmax / static_cast<double>(result.max_core + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t c = cluster_of[v];
+    const double ring =
+        shell_step * static_cast<double>(result.max_core + 1 -
+                                         result.core_of[v]);
+    const double radius =
+        std::max(ring - shell_step * 0.8 * rng.UniformDouble(),
+                 shell_step * 0.1);
+    const double pad = sector_width[c] * 0.05;
+    const uint32_t count = cluster_size[c];
+    const double slot = (static_cast<double>(placed_in_cluster[c]) + 0.5) /
+                        static_cast<double>(count);
+    ++placed_in_cluster[c];
+    const double angle = sector_start[c] + pad +
+                         (sector_width[c] - 2.0 * pad) * slot +
+                         0.02 * (rng.UniformDouble() - 0.5);
+    result.positions[v].x = 0.5 + radius * std::cos(angle);
+    result.positions[v].y = 0.5 + radius * std::sin(angle);
+  }
+  return result;
+}
+
+}  // namespace graphscape

@@ -1,0 +1,44 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// LaNet-vi-style K-core decomposition plot (Fig. 6(f), Fig. 12): vertices
+// are placed on concentric rings by core number — the densest cores at
+// the center, shell k at radius proportional to (kmax - k) — with each
+// shell's connected clusters fanned into angular sectors so they stay
+// visually grouped. This is the comparison tool the paper argues against:
+// color encodes the shell, but nesting/containment between dense cores
+// has no channel, which is exactly what the terrain view adds.
+//
+// Reuses metrics/kcore.h CoreNumbers (the same field the terrains
+// render), so the two views of Fig. 6 are guaranteed to disagree only in
+// presentation, never in the underlying decomposition.
+
+#ifndef GRAPHSCAPE_LAYOUT_LANETVI_LAYOUT_H_
+#define GRAPHSCAPE_LAYOUT_LANETVI_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "layout/positions.h"
+
+namespace graphscape {
+
+struct LanetViOptions {
+  /// Seed for the deterministic in-sector jitter.
+  uint64_t seed = 1;
+};
+
+struct LanetViLayoutResult {
+  Positions positions;            ///< [0, 1]^2, shells centered on (.5, .5)
+  std::vector<uint32_t> core_of;  ///< CoreNumbers(g), kept for coloring
+  uint32_t max_core = 0;
+};
+
+/// Deterministic in (g, options).
+LanetViLayoutResult LanetViLayout(const Graph& g,
+                                  const LanetViOptions& options = {});
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_LAYOUT_LANETVI_LAYOUT_H_

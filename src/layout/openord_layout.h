@@ -1,0 +1,43 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// OpenOrd-style multilevel layout (the user-study comparison tool,
+// Tables IV–VI / Fig. 12–13): a thin coarsen → layout → refine wrapper
+// over the grid-binned spring core (layout/spring_layout.h).
+//
+// Coarsening collapses a deterministic maximal matching per level until
+// the graph is small; the coarsest graph gets a full spring layout
+// (coarse_iterations), then each level projects its positions onto the
+// finer graph (matched pairs split with a tiny deterministic offset) and
+// runs refine_iterations of the same spring core. Multilevel descent is
+// what lets a local force model untangle large graphs: the coarse levels
+// move whole clusters, the fine levels only polish.
+
+#ifndef GRAPHSCAPE_LAYOUT_OPENORD_LAYOUT_H_
+#define GRAPHSCAPE_LAYOUT_OPENORD_LAYOUT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "layout/positions.h"
+
+namespace graphscape {
+
+struct OpenOrdOptions {
+  /// Spring iterations on the coarsest graph.
+  uint32_t coarse_iterations = 100;
+  /// Spring iterations after each projection step.
+  uint32_t refine_iterations = 30;
+  /// Stop coarsening below this many vertices.
+  uint32_t min_coarse_vertices = 128;
+  /// Hard cap on coarsening levels (matching can stall on star graphs).
+  uint32_t max_levels = 12;
+  uint64_t seed = 1;
+};
+
+/// One position per vertex in [0, 1]^2; deterministic in (g, options).
+Positions OpenOrdLayout(const Graph& g, const OpenOrdOptions& options = {});
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_LAYOUT_OPENORD_LAYOUT_H_

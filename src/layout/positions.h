@@ -1,0 +1,29 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The one vocabulary type every 2D layout shares: a flat array of
+// per-vertex coordinates in the unit square [0, 1]^2. Producers
+// (layout/spring_layout.h, layout/lanetvi_layout.h,
+// layout/openord_layout.h) all emit it; consumers (terrain/svg.h node-link
+// drawings) scale it to their viewport. Keeping it a plain vector of PODs
+// means layouts can be refined in place and copied with one memcpy-class
+// operation.
+
+#ifndef GRAPHSCAPE_LAYOUT_POSITIONS_H_
+#define GRAPHSCAPE_LAYOUT_POSITIONS_H_
+
+#include <vector>
+
+namespace graphscape {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One Point2 per vertex, indexed by VertexId.
+using Positions = std::vector<Point2>;
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_LAYOUT_POSITIONS_H_

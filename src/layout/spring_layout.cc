@@ -1,0 +1,141 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "layout/spring_layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace graphscape {
+namespace {
+
+// Clamp into the open unit interval so grid indices stay in range.
+inline double ClampUnit(double v) {
+  return std::min(std::max(v, 0.0), 1.0 - 1e-9);
+}
+
+}  // namespace
+
+void RefineSpringLayout(const Graph& g, const SpringLayoutOptions& options,
+                        Positions* positions) {
+  const uint32_t n = g.NumVertices();
+  if (n == 0 || positions->size() != n) return;
+  Positions& pos = *positions;
+  if (n == 1) {
+    pos[0] = Point2{0.5, 0.5};
+    return;
+  }
+
+  // Ideal spring length for unit area; repulsion cutoff at 2k.
+  const double k = std::sqrt(1.0 / static_cast<double>(n));
+  const double cutoff = 2.0 * k;
+  const double cutoff_sq = cutoff * cutoff;
+  const uint32_t grid = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::floor(1.0 / cutoff)));
+  const double cell_size = 1.0 / grid;
+
+  // All buffers for the iteration loop, allocated once.
+  std::vector<uint32_t> cell_of(n);
+  std::vector<uint32_t> cell_offsets(static_cast<size_t>(grid) * grid + 1);
+  std::vector<uint32_t> cell_cursor(static_cast<size_t>(grid) * grid);
+  std::vector<uint32_t> cell_items(n);
+  std::vector<Point2> disp(n);
+
+  const uint32_t iterations = std::max<uint32_t>(1, options.iterations);
+  double temperature = options.initial_temperature;
+  const double cooling = temperature / static_cast<double>(iterations);
+
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    // Bin: counting sort of vertices into grid cells.
+    std::fill(cell_offsets.begin(), cell_offsets.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      const uint32_t cx = static_cast<uint32_t>(pos[v].x / cell_size);
+      const uint32_t cy = static_cast<uint32_t>(pos[v].y / cell_size);
+      cell_of[v] = std::min(cy, grid - 1) * grid + std::min(cx, grid - 1);
+      ++cell_offsets[cell_of[v] + 1];
+    }
+    for (size_t c = 0; c + 1 < cell_offsets.size(); ++c)
+      cell_offsets[c + 1] += cell_offsets[c];
+    std::copy(cell_offsets.begin(), cell_offsets.end() - 1,
+              cell_cursor.begin());
+    for (VertexId v = 0; v < n; ++v) cell_items[cell_cursor[cell_of[v]]++] = v;
+
+    // Repulsion: each vertex against the 3x3 cell neighborhood, cut off
+    // at 2k. Degenerate coincident pairs get a deterministic id-based
+    // nudge so they separate instead of dividing by zero.
+    for (VertexId v = 0; v < n; ++v) {
+      disp[v] = Point2{0.0, 0.0};
+      const uint32_t cx = cell_of[v] % grid;
+      const uint32_t cy = cell_of[v] / grid;
+      const uint32_t x0 = cx > 0 ? cx - 1 : 0;
+      const uint32_t x1 = std::min(cx + 1, grid - 1);
+      const uint32_t y0 = cy > 0 ? cy - 1 : 0;
+      const uint32_t y1 = std::min(cy + 1, grid - 1);
+      for (uint32_t gy = y0; gy <= y1; ++gy) {
+        for (uint32_t gx = x0; gx <= x1; ++gx) {
+          const uint32_t cell = gy * grid + gx;
+          for (uint32_t s = cell_offsets[cell]; s < cell_offsets[cell + 1];
+               ++s) {
+            const VertexId u = cell_items[s];
+            if (u == v) continue;
+            double dx = pos[v].x - pos[u].x;
+            double dy = pos[v].y - pos[u].y;
+            double d_sq = dx * dx + dy * dy;
+            if (d_sq >= cutoff_sq) continue;
+            if (d_sq < 1e-18) {
+              dx = 1e-6 * (1.0 + static_cast<double>(v % 7));
+              dy = 1e-6 * (1.0 + static_cast<double>(u % 11));
+              d_sq = dx * dx + dy * dy;
+            }
+            // F_r = k^2 / d along the separation direction.
+            const double inv = k * k / d_sq;
+            disp[v].x += dx * inv;
+            disp[v].y += dy * inv;
+          }
+        }
+      }
+    }
+
+    // Attraction along edges: F_a = d / k toward the neighbor. The CSR
+    // stores both directions, so visiting every slot applies the
+    // symmetric pull without a second pass.
+    for (VertexId v = 0; v < n; ++v) {
+      for (const VertexId u : g.Neighbors(v)) {
+        const double dx = pos[u].x - pos[v].x;
+        const double dy = pos[u].y - pos[v].y;
+        const double d = std::sqrt(dx * dx + dy * dy);
+        if (d < 1e-12) continue;
+        const double pull = d / k;
+        disp[v].x += dx / d * pull;
+        disp[v].y += dy / d * pull;
+      }
+    }
+
+    // Displace, capped by the temperature; clamp into the unit square.
+    for (VertexId v = 0; v < n; ++v) {
+      const double len =
+          std::sqrt(disp[v].x * disp[v].x + disp[v].y * disp[v].y);
+      if (len < 1e-12) continue;
+      const double step = std::min(len, temperature) / len;
+      pos[v].x = ClampUnit(pos[v].x + disp[v].x * step);
+      pos[v].y = ClampUnit(pos[v].y + disp[v].y * step);
+    }
+    temperature = std::max(temperature - cooling, 1e-4);
+  }
+}
+
+Positions SpringLayout(const Graph& g, const SpringLayoutOptions& options) {
+  const uint32_t n = g.NumVertices();
+  Positions pos(n);
+  Rng rng(options.seed);
+  for (VertexId v = 0; v < n; ++v) {
+    pos[v].x = rng.UniformDouble();
+    pos[v].y = rng.UniformDouble();
+  }
+  RefineSpringLayout(g, options, &pos);
+  return pos;
+}
+
+}  // namespace graphscape

@@ -1,0 +1,52 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Fruchterman–Reingold spring embedding with grid-binned repulsion — the
+// baseline 2D layout of Fig. 6(a, b) and the refinement core the OpenOrd
+// wrapper (layout/openord_layout.h) drives at every level.
+//
+// The textbook algorithm is O(n^2) per iteration because every vertex
+// repels every other. Here repulsion is cut off at radius 2k (k = the
+// ideal spring length sqrt(area / n)) and vertices are counting-sorted
+// into a uniform grid of 2k-sized cells each iteration, so a vertex only
+// scans the 3x3 cell neighborhood around it: O(n) per iteration under
+// bounded density, O(n * iterations) overall — the same complexity class
+// as one Algorithm 1/3 sweep per iteration, not a quadratic outlier.
+//
+// Allocation discipline matches Algorithms 1/3 (tests/allocation_test.cc):
+// every buffer (grid offsets, cell-sorted ids, displacement array) is
+// sized once up front and the per-iteration loop — bin, repel, attract,
+// displace, cool — performs zero heap allocations.
+
+#ifndef GRAPHSCAPE_LAYOUT_SPRING_LAYOUT_H_
+#define GRAPHSCAPE_LAYOUT_SPRING_LAYOUT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "layout/positions.h"
+
+namespace graphscape {
+
+struct SpringLayoutOptions {
+  uint32_t iterations = 100;
+  /// Seed for the deterministic initial scatter (common/rng.h).
+  uint64_t seed = 1;
+  /// Starting step bound, as a fraction of the unit square; decays
+  /// linearly to ~0 over the iteration budget.
+  double initial_temperature = 0.1;
+};
+
+/// Lays out `g` from a seeded random scatter. Returns one position per
+/// vertex in [0, 1]^2; deterministic in (g, options).
+Positions SpringLayout(const Graph& g, const SpringLayoutOptions& options = {});
+
+/// The in-place core: refines `positions` (size NumVertices, any state —
+/// e.g. projected coarse-level coordinates) for options.iterations more
+/// rounds. This is the multilevel refinement entry point.
+void RefineSpringLayout(const Graph& g, const SpringLayoutOptions& options,
+                        Positions* positions);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_LAYOUT_SPRING_LAYOUT_H_

@@ -74,4 +74,11 @@ std::vector<double> BetweennessCentrality(const Graph& g,
   return centrality;
 }
 
+std::vector<double> DegreeCentrality(const Graph& g) {
+  std::vector<double> degree(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v)
+    degree[v] = static_cast<double>(g.Degree(v));
+  return degree;
+}
+
 }  // namespace graphscape

@@ -25,6 +25,10 @@ struct BetweennessOptions {
 std::vector<double> BetweennessCentrality(
     const Graph& g, const BetweennessOptions& options = {});
 
+/// Degree centrality as a double field — the comparison column of the
+/// paper's Fig. 10/13 correlation study (§III-C).
+std::vector<double> DegreeCentrality(const Graph& g);
+
 }  // namespace graphscape
 
 #endif  // GRAPHSCAPE_METRICS_CENTRALITY_H_

@@ -34,6 +34,9 @@ class CheckedScalarField {
   uint32_t Size() const { return static_cast<uint32_t>(values_.size()); }
   double operator[](uint32_t i) const { return values_[i]; }
   const std::vector<double>& Values() const { return values_; }
+  /// Lowercase alias, the spelling the figure benches use when handing a
+  /// field's raw column to the color mappers (terrain/render.h).
+  const std::vector<double>& values() const { return values_; }
   double MinValue() const { return min_; }
   double MaxValue() const { return max_; }
 

@@ -36,4 +36,12 @@ MemberRange SuperTree::SubtreeMembers(uint32_t node) const {
   return MemberIndex().SubtreeMembers(node);
 }
 
+uint32_t SuperTree::SubtreeMemberCount(uint32_t node) const {
+  return MemberIndex().SubtreeMemberCount(node);
+}
+
+double SuperTree::SubtreeMaxValue(uint32_t node) const {
+  return MemberIndex().SubtreeMaxValue(node);
+}
+
 }  // namespace graphscape

@@ -93,8 +93,20 @@ class SuperTree {
   /// The shared scalar value of every element contracted into `node`.
   double Value(uint32_t node) const { return node_values_[node]; }
 
+  /// Alias for Value() — the terrain/figure call sites read the node's
+  /// height as "the scalar".
+  double Scalar(uint32_t node) const { return node_values_[node]; }
+
   /// How many elements were contracted into `node`.
   uint32_t MemberCount(uint32_t node) const { return member_counts_[node]; }
+
+  /// Subtree mass: elements in `node` and every descendant — the area
+  /// weight the terrain layout allocates land by. O(1) via the cached
+  /// member index (first call pays the lazy O(n) build).
+  uint32_t SubtreeMemberCount(uint32_t node) const;
+
+  /// The summit value over `node`'s subtree (cached member index).
+  double SubtreeMaxValue(uint32_t node) const;
 
   /// Super node containing element v.
   uint32_t NodeOf(VertexId v) const { return node_of_[v]; }

@@ -12,19 +12,20 @@ TreeMemberIndex::TreeMemberIndex(const SuperTree& tree) {
   const uint32_t m = tree.NumElements();
 
   // Children in CSR form via one counting sort over the parent array.
-  std::vector<uint32_t> child_offsets(n + 1, 0);
+  // Kept as members: Children() hands the terrain layout its recursion.
+  child_offsets_.assign(n + 1, 0);
   for (uint32_t node = 0; node < n; ++node) {
     const uint32_t p = tree.Parent(node);
-    if (p != kNoParent) ++child_offsets[p + 1];
+    if (p != kNoParent) ++child_offsets_[p + 1];
   }
-  for (uint32_t i = 0; i < n; ++i) child_offsets[i + 1] += child_offsets[i];
-  std::vector<uint32_t> children(child_offsets[n]);
+  for (uint32_t i = 0; i < n; ++i) child_offsets_[i + 1] += child_offsets_[i];
+  children_.resize(child_offsets_[n]);
   {
-    std::vector<uint32_t> cursor(child_offsets.begin(),
-                                 child_offsets.end() - 1);
+    std::vector<uint32_t> cursor(child_offsets_.begin(),
+                                 child_offsets_.end() - 1);
     for (uint32_t node = 0; node < n; ++node) {
       const uint32_t p = tree.Parent(node);
-      if (p != kNoParent) children[cursor[p]++] = node;
+      if (p != kNoParent) children_[cursor[p]++] = node;
     }
   }
 
@@ -60,8 +61,9 @@ TreeMemberIndex::TreeMemberIndex(const SuperTree& tree) {
     subtree_end_[node] = next_pos + subtree_nodes[node];
     node_at_pos[next_pos] = node;
     ++next_pos;
-    const uint32_t begin = child_offsets[node], end = child_offsets[node + 1];
-    for (uint32_t c = end; c-- > begin;) stack.push_back(children[c]);
+    const uint32_t begin = child_offsets_[node];
+    const uint32_t end = child_offsets_[node + 1];
+    for (uint32_t c = end; c-- > begin;) stack.push_back(children_[c]);
   }
 
   // Member CSR over Euler positions; scattering elements in ascending id

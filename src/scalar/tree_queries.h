@@ -63,7 +63,21 @@ class TreeMemberIndex {
   /// The summit: maximum value over `node`'s subtree.
   double SubtreeMaxValue(uint32_t node) const { return subtree_max_[node]; }
 
+  /// `node`'s children, ascending node id — the iteration the terrain
+  /// layout recursion walks (terrain/terrain_layout.h). The CSR arrays
+  /// are a build by-product, kept instead of discarded.
+  MemberRange Children(uint32_t node) const {
+    return MemberRange{children_.data() + child_offsets_[node],
+                       children_.data() + child_offsets_[node + 1]};
+  }
+
+  uint32_t NumChildren(uint32_t node) const {
+    return child_offsets_[node + 1] - child_offsets_[node];
+  }
+
  private:
+  std::vector<uint32_t> child_offsets_;   // node -> child slot (N + 1)
+  std::vector<uint32_t> children_;        // children grouped by parent
   std::vector<uint32_t> euler_pos_;       // node -> preorder position
   std::vector<uint32_t> subtree_end_;     // node -> one-past-last position
   std::vector<uint32_t> member_offsets_;  // position -> member slot (N + 1)

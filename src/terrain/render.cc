@@ -1,0 +1,245 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "terrain/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace graphscape {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr Rgb kSeaColor{30, 58, 95};
+constexpr Rgb kSkyColor{255, 255, 255};
+
+inline Rgb Shade(Rgb color, double factor) {
+  const auto channel = [factor](uint8_t c) {
+    return static_cast<uint8_t>(
+        std::min(std::max(static_cast<double>(c) * factor, 0.0), 255.0));
+  };
+  return Rgb{channel(color.r), channel(color.g), channel(color.b)};
+}
+
+inline Rgb Lerp(Rgb a, Rgb b, double t) {
+  const auto channel = [t](uint8_t x, uint8_t y) {
+    return static_cast<uint8_t>(x + (static_cast<double>(y) - x) * t + 0.5);
+  };
+  return Rgb{channel(a.r, b.r), channel(a.g, b.g), channel(a.b, b.b)};
+}
+
+inline Rgb CellColor(const HeightField& field,
+                     const std::vector<Rgb>& node_colors, size_t index) {
+  const uint32_t node = field.node_at[index];
+  if (node == kInvalidSuperNode) return kSeaColor;
+  return node < node_colors.size() ? node_colors[node] : Rgb{128, 128, 128};
+}
+
+}  // namespace
+
+double NormalizeValue(double value, double min_value, double max_value) {
+  if (max_value <= min_value) return 0.5;
+  const double t = (value - min_value) / (max_value - min_value);
+  return std::min(std::max(t, 0.0), 1.0);
+}
+
+uint32_t FourBandIndex(double t) {
+  if (t < 0.25) return 0;
+  if (t < 0.5) return 1;
+  if (t < 0.75) return 2;
+  return 3;
+}
+
+Rgb FourBandColor(double t) {
+  static constexpr Rgb kBands[4] = {
+      Rgb{59, 130, 246},   // blue
+      Rgb{46, 166, 76},    // green
+      Rgb{250, 204, 21},   // yellow
+      Rgb{220, 38, 38},    // red
+  };
+  return kBands[FourBandIndex(t)];
+}
+
+Rgb ContinuousColor(double t) {
+  t = std::min(std::max(t, 0.0), 1.0);
+  static constexpr Rgb kStops[4] = {
+      Rgb{59, 130, 246},
+      Rgb{46, 166, 76},
+      Rgb{250, 204, 21},
+      Rgb{220, 38, 38},
+  };
+  const double scaled = t * 3.0;
+  const uint32_t lo = std::min(static_cast<uint32_t>(scaled), 2u);
+  return Lerp(kStops[lo], kStops[lo + 1], scaled - lo);
+}
+
+std::vector<Rgb> HeightColors(const SuperTree& tree) {
+  const uint32_t n = tree.NumNodes();
+  std::vector<Rgb> colors(n);
+  double min_value = 0.0, max_value = 0.0;
+  if (n > 0) min_value = max_value = tree.Value(0);
+  for (uint32_t node = 0; node < n; ++node) {
+    min_value = std::min(min_value, tree.Value(node));
+    max_value = std::max(max_value, tree.Value(node));
+  }
+  for (uint32_t node = 0; node < n; ++node) {
+    colors[node] =
+        FourBandColor(NormalizeValue(tree.Value(node), min_value, max_value));
+  }
+  return colors;
+}
+
+std::vector<Rgb> SuperNodeColors(const SuperTree& tree,
+                                 const std::vector<double>& element_values) {
+  const uint32_t n = tree.NumNodes();
+  std::vector<Rgb> colors(n, Rgb{128, 128, 128});
+  if (element_values.size() != tree.NumElements() || n == 0) return colors;
+  std::vector<double> sum(n, 0.0);
+  for (uint32_t e = 0; e < tree.NumElements(); ++e)
+    sum[tree.NodeOf(e)] += element_values[e];
+  double min_mean = 0.0, max_mean = 0.0;
+  bool first = true;
+  for (uint32_t node = 0; node < n; ++node) {
+    sum[node] /= std::max(1u, tree.MemberCount(node));
+    if (first || sum[node] < min_mean) min_mean = sum[node];
+    if (first || sum[node] > max_mean) max_mean = sum[node];
+    first = false;
+  }
+  for (uint32_t node = 0; node < n; ++node)
+    colors[node] =
+        FourBandColor(NormalizeValue(sum[node], min_mean, max_mean));
+  return colors;
+}
+
+Image RenderOblique(const HeightField& field,
+                    const std::vector<Rgb>& node_colors, const Camera& camera,
+                    uint32_t width, uint32_t height) {
+  Image image;
+  image.width = std::max(width, 1u);
+  image.height = std::max(height, 1u);
+  image.pixels.assign(static_cast<size_t>(image.width) * image.height,
+                      kSkyColor);
+  if (field.width == 0 || field.height == 0) return image;
+
+  const double az = camera.azimuth_deg * kPi / 180.0;
+  const double el =
+      std::min(std::max(camera.elevation_deg, 5.0), 89.0) * kPi / 180.0;
+  const double cos_a = std::cos(az), sin_a = std::sin(az);
+  const double sin_e = std::sin(el), cos_e = std::cos(el);
+  const double range = field.max_value - field.sea_level;
+
+  // Fit the rotated square (diagonal sqrt(2)) plus the tallest column
+  // into a 92% viewport box.
+  const double vertical_extent =
+      std::sqrt(2.0) * sin_e + camera.height_scale * cos_e;
+  const double scale = std::min(0.92 * image.width / std::sqrt(2.0),
+                                0.92 * image.height / vertical_extent);
+  const double cx = image.width * 0.5;
+  const double cy = image.height * 0.55;
+
+  // Back-to-front ordering by counting-sorting cells into depth buckets
+  // of their rotated "toward the viewer" coordinate.
+  const size_t cells = static_cast<size_t>(field.width) * field.height;
+  const uint32_t num_buckets = 2 * std::max(field.width, field.height);
+  std::vector<uint32_t> bucket_offsets(num_buckets + 1, 0);
+  std::vector<uint32_t> bucket_of(cells);
+  std::vector<uint32_t> bucket_items(cells);
+  const double inv_w = 1.0 / field.width, inv_h = 1.0 / field.height;
+  for (size_t i = 0; i < cells; ++i) {
+    const double u = ((i % field.width) + 0.5) * inv_w - 0.5;
+    const double v = ((i / field.width) + 0.5) * inv_h - 0.5;
+    const double vr = u * sin_a + v * cos_a;  // depth: larger = nearer
+    const double t = (vr + std::sqrt(2.0) * 0.5) / std::sqrt(2.0);
+    bucket_of[i] = std::min(
+        static_cast<uint32_t>(t * num_buckets), num_buckets - 1);
+    ++bucket_offsets[bucket_of[i] + 1];
+  }
+  for (uint32_t b = 0; b < num_buckets; ++b)
+    bucket_offsets[b + 1] += bucket_offsets[b];
+  {
+    std::vector<uint32_t> cursor(bucket_offsets.begin(),
+                                 bucket_offsets.end() - 1);
+    for (size_t i = 0; i < cells; ++i)
+      bucket_items[cursor[bucket_of[i]]++] = static_cast<uint32_t>(i);
+  }
+
+  // Column width that leaves no holes after rotation.
+  const int half_col = static_cast<int>(
+      std::ceil(scale * std::max(inv_w, inv_h) * 0.75)) + 1;
+
+  for (size_t idx = 0; idx < cells; ++idx) {
+    const uint32_t i = bucket_items[idx];
+    const uint32_t x = i % field.width;
+    const uint32_t y = i / field.width;
+    const double u = (x + 0.5) * inv_w - 0.5;
+    const double v = (y + 0.5) * inv_h - 0.5;
+    const double ur = u * cos_a - v * sin_a;
+    const double vr = u * sin_a + v * cos_a;
+    const double h_norm =
+        range > 0.0 ? (field.height_at[i] - field.sea_level) / range : 0.0;
+
+    const double sx = cx + ur * scale;
+    const double base_y = cy + vr * scale * sin_e;
+    const double top_y = base_y - h_norm * camera.height_scale * scale * cos_e;
+
+    // Slope shading: compare against the next cell along +x in field
+    // space (a fixed light direction keeps renders deterministic).
+    double shade = 1.0;
+    if (x + 1 < field.width && range > 0.0) {
+      const double dh = (field.height_at[i] - field.height_at[i + 1]) / range;
+      shade = std::min(std::max(1.0 + dh * 2.0, 0.55), 1.25);
+    }
+    const Rgb color = Shade(CellColor(field, node_colors, i), shade);
+    const Rgb cliff = Shade(color, 0.62);
+
+    const int ix = static_cast<int>(std::lround(sx));
+    int iy_top = static_cast<int>(std::lround(top_y));
+    const int iy_base = static_cast<int>(std::lround(base_y));
+    iy_top = std::min(iy_top, iy_base);
+    for (int px = ix - half_col; px <= ix + half_col; ++px) {
+      if (px < 0 || px >= static_cast<int>(image.width)) continue;
+      for (int py = iy_top; py <= iy_base; ++py) {
+        if (py < 0 || py >= static_cast<int>(image.height)) continue;
+        // The top few pixels read as the plateau surface, the rest as
+        // the darker cliff face.
+        const bool plateau = py - iy_top <= 1;
+        image.pixels[static_cast<size_t>(py) * image.width + px] =
+            plateau ? color : cliff;
+      }
+    }
+  }
+  return image;
+}
+
+Image RenderTopDown(const HeightField& field,
+                    const std::vector<Rgb>& node_colors) {
+  Image image;
+  image.width = std::max(field.width, 1u);
+  image.height = std::max(field.height, 1u);
+  image.pixels.assign(static_cast<size_t>(image.width) * image.height,
+                      kSeaColor);
+  const double range = field.max_value - field.sea_level;
+  const size_t cells = static_cast<size_t>(field.width) * field.height;
+  for (size_t i = 0; i < cells; ++i) {
+    const double h_norm =
+        range > 0.0 ? (field.height_at[i] - field.sea_level) / range : 0.0;
+    image.pixels[i] =
+        Shade(CellColor(field, node_colors, i), 0.6 + 0.4 * h_norm);
+  }
+  return image;
+}
+
+bool WritePpm(const Image& image, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P6\n%u %u\n255\n", image.width, image.height);
+  static_assert(sizeof(Rgb) == 3, "Rgb must be packed for PPM output");
+  const size_t count = image.pixels.size();
+  const size_t written =
+      std::fwrite(image.pixels.data(), sizeof(Rgb), count, f);
+  const bool ok = written == count;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace graphscape

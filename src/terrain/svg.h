@@ -1,0 +1,39 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// SVG artifact writers for the 2D comparison views: node-link drawings
+// over any layout/ Positions (Fig. 6(a,b,f), Fig. 10(b,c), Fig. 12–13)
+// and the flat treemap of a terrain layout (Fig. 5(a) — heights zeroed,
+// color as the only scalar channel, which is exactly the information
+// loss the terrain comparison quantifies).
+
+#ifndef GRAPHSCAPE_TERRAIN_SVG_H_
+#define GRAPHSCAPE_TERRAIN_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "layout/positions.h"
+#include "terrain/render.h"
+#include "terrain/terrain_layout.h"
+
+namespace graphscape {
+
+/// Draws `g` with one circle per vertex (fill = colors[v]) and one line
+/// per edge, positions scaled from [0, 1]^2 to a size x size viewport.
+/// Requires positions/colors sized to NumVertices. Returns false on I/O
+/// failure or size mismatch.
+bool WriteNodeLinkSvg(const Graph& g, const Positions& positions,
+                      const std::vector<Rgb>& colors, const std::string& path,
+                      double size, double node_radius);
+
+/// The terrain layout as a flat nested treemap: every footprint drawn in
+/// paint order (parents under children) with fill = colors[node].
+/// Requires colors sized to layout.NumNodes().
+bool WriteTreemapSvg(const TerrainLayout& layout,
+                     const std::vector<Rgb>& colors, const std::string& path);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_TERRAIN_SVG_H_

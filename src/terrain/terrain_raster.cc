@@ -1,0 +1,52 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "terrain/terrain_raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphscape {
+
+HeightField RasterizeTerrain(const TerrainLayout& layout,
+                             const RasterOptions& options) {
+  HeightField field;
+  field.width = std::max(options.width, 1u);
+  field.height = std::max(options.height, 1u);
+  field.min_value = layout.min_value;
+  field.max_value = layout.max_value;
+  const double range = layout.max_value - layout.min_value;
+  field.sea_level = layout.min_value - (range > 0.0 ? 0.05 * range : 1.0);
+  field.height_at.assign(static_cast<size_t>(field.width) * field.height,
+                         field.sea_level);
+  field.node_at.assign(static_cast<size_t>(field.width) * field.height,
+                       kInvalidSuperNode);
+
+  const double sx = static_cast<double>(field.width);
+  const double sy = static_cast<double>(field.height);
+  for (const uint32_t node : layout.paint_order) {
+    const LandRect& rect = layout.rects[node];
+    // A pixel belongs to the footprint when its CENTER is inside; ceil on
+    // the low edge / exclusive high edge keeps adjacent spans disjoint.
+    const uint32_t px0 = static_cast<uint32_t>(std::max(
+        std::ceil(rect.x0 * sx - 0.5), 0.0));
+    const uint32_t py0 = static_cast<uint32_t>(std::max(
+        std::ceil(rect.y0 * sy - 0.5), 0.0));
+    const uint32_t px1 = static_cast<uint32_t>(std::min(
+        std::ceil(rect.x1 * sx - 0.5), static_cast<double>(field.width)));
+    const uint32_t py1 = static_cast<uint32_t>(std::min(
+        std::ceil(rect.y1 * sy - 0.5), static_cast<double>(field.height)));
+    const double value = layout.values[node];
+    for (uint32_t y = py0; y < py1; ++y) {
+      double* hrow = field.height_at.data() +
+                     static_cast<size_t>(y) * field.width;
+      uint32_t* nrow = field.node_at.data() +
+                       static_cast<size_t>(y) * field.width;
+      std::fill(hrow + px0, hrow + px1, value);
+      std::fill(nrow + px0, nrow + px1, node);
+    }
+  }
+  return field;
+}
+
+}  // namespace graphscape

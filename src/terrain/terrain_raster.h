@@ -1,0 +1,62 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Layout -> height field. Footprints are painted into a pixel grid in
+// preorder (painter's algorithm): every pixel ends up owned by the
+// DEEPEST super node whose footprint covers it, carrying that node's
+// scalar as its height. Pixels no footprint covers are sea — held
+// strictly below the field minimum, so every superlevel set {f >= t}
+// appears as islands against it.
+//
+// Because the layout keeps sibling footprints disjoint and children
+// strictly inside parents, flood-filling the height field at level t
+// yields exactly CountComponentsAtLevel(tree, t) islands (at sufficient
+// resolution) — the invariant tests/terrain_test.cc pins.
+//
+// The paint loop is allocation-free after the two output arrays are
+// sized (tests/allocation_test.cc): per node it clips the footprint to
+// the grid and writes contiguous row spans — overdraw is bounded by the
+// nesting depth, which Algorithm 2's contraction keeps at the number of
+// distinct values on a root path.
+
+#ifndef GRAPHSCAPE_TERRAIN_TERRAIN_RASTER_H_
+#define GRAPHSCAPE_TERRAIN_TERRAIN_RASTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "terrain/terrain_layout.h"
+
+namespace graphscape {
+
+struct RasterOptions {
+  uint32_t width = 512;
+  uint32_t height = 512;
+};
+
+struct HeightField {
+  uint32_t width = 0;
+  uint32_t height = 0;
+  /// Row-major scalar height per pixel; sea pixels hold `sea_level`.
+  std::vector<double> height_at;
+  /// Row-major owning super node per pixel; kInvalidSuperNode for sea.
+  std::vector<uint32_t> node_at;
+  /// Strictly below the field minimum (min - 5% of range).
+  double sea_level = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+
+  double HeightAt(uint32_t x, uint32_t y) const {
+    return height_at[static_cast<size_t>(y) * width + x];
+  }
+  uint32_t NodeAt(uint32_t x, uint32_t y) const {
+    return node_at[static_cast<size_t>(y) * width + x];
+  }
+};
+
+HeightField RasterizeTerrain(const TerrainLayout& layout,
+                             const RasterOptions& options = {});
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_TERRAIN_TERRAIN_RASTER_H_

@@ -17,10 +17,13 @@
 
 #include "common/rng.h"
 #include "gen/generators.h"
+#include "layout/spring_layout.h"
 #include "scalar/edge_scalar_tree.h"
 #include "scalar/scalar_tree.h"
 #include "scalar/super_tree.h"
 #include "scalar/tree_queries.h"
+#include "terrain/terrain_layout.h"
+#include "terrain/terrain_raster.h"
 
 namespace {
 std::atomic<uint64_t> g_alloc_count{0};
@@ -120,6 +123,64 @@ TEST(AllocationDisciplineTest, MemberIndexBuildAllocatesConstantArrays) {
       << "allocation count scales with tree size - something allocates "
          "inside the index build loops";
   EXPECT_LE(large, 16u);
+}
+
+uint64_t AllocationsDuringSpringRefine(uint32_t iterations) {
+  Rng rng(21);
+  const Graph g = BarabasiAlbert(1 << 10, 4, &rng);
+  Positions pos(g.NumVertices());
+  Rng scatter(3);
+  for (auto& p : pos) {
+    p.x = scatter.UniformDouble();
+    p.y = scatter.UniformDouble();
+  }
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  SpringLayoutOptions options;
+  options.iterations = iterations;
+  RefineSpringLayout(g, options, &pos);
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_GT(pos.size(), 0u);
+  return after - before;
+}
+
+TEST(AllocationDisciplineTest, SpringIterationLoopDoesNotAllocate) {
+  // The grid-binned force loop reuses one set of pre-sized buffers:
+  // more iterations must not mean more allocations.
+  const uint64_t few = AllocationsDuringSpringRefine(4);
+  const uint64_t many = AllocationsDuringSpringRefine(32);
+  EXPECT_EQ(few, many)
+      << "allocation count scales with iterations - something allocates "
+         "inside the spring iteration loop";
+  EXPECT_LE(many, 12u);
+}
+
+uint64_t AllocationsDuringRasterize(uint32_t resolution) {
+  Rng rng(42);
+  const Graph g = BarabasiAlbert(1 << 10, 4, &rng);
+  Rng field_rng(7);
+  std::vector<double> values(g.NumVertices());
+  for (auto& v : values) v = static_cast<double>(field_rng.UniformInt(16));
+  const SuperTree super(
+      BuildVertexScalarTree(g, VertexScalarField("f", values)));
+  const TerrainLayout layout = BuildTerrainLayout(super);
+  RasterOptions options;
+  options.width = options.height = resolution;
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const HeightField field = RasterizeTerrain(layout, options);
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_GT(field.height_at.size(), 0u);
+  return after - before;
+}
+
+TEST(AllocationDisciplineTest, RasterPaintLoopAllocatesOnlyOutputArrays) {
+  // The painter's loop writes row spans into the two up-front output
+  // arrays; neither resolution nor node count adds allocations.
+  const uint64_t small = AllocationsDuringRasterize(64);
+  const uint64_t large = AllocationsDuringRasterize(512);
+  EXPECT_EQ(small, large)
+      << "allocation count scales with resolution - something allocates "
+         "inside the raster paint loop";
+  EXPECT_LE(large, 4u);
 }
 
 }  // namespace

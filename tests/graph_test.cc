@@ -65,5 +65,23 @@ TEST(GraphTest, NeighborsAreSortedAscending) {
   for (uint32_t i = 0; i + 1 < r.size(); ++i) EXPECT_LT(r[i], r[i + 1]);
 }
 
+TEST(GraphTest, EdgeEndpointsFollowEdgeListOrder) {
+  GraphBuilder builder(4);
+  builder.AddEdge(2, 1);
+  builder.AddEdge(3, 0);
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build();
+  // EdgeList order: ascending smaller endpoint, then larger.
+  ASSERT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.EdgeEndpoints(0), (std::pair<VertexId, VertexId>{0, 1}));
+  EXPECT_EQ(g.EdgeEndpoints(1), (std::pair<VertexId, VertexId>{0, 3}));
+  EXPECT_EQ(g.EdgeEndpoints(2), (std::pair<VertexId, VertexId>{1, 2}));
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.EdgeEndpoints(e);
+    EXPECT_LT(u, v);
+    EXPECT_TRUE(g.HasEdge(u, v));
+  }
+}
+
 }  // namespace
 }  // namespace graphscape

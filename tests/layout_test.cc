@@ -1,0 +1,213 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Behavioral pins for the 2D layout subsystem: spring layouts are
+// deterministic, stay in the unit square, and actually pull adjacent
+// clusters together; LaNet-vi rings order shells densest-innermost over
+// the exact CoreNumbers decomposition; the CSV plot keeps dense cores
+// contiguous; OpenOrd's multilevel wrapper agrees with the spring core
+// on the basics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "layout/csv_plot.h"
+#include "layout/lanetvi_layout.h"
+#include "layout/openord_layout.h"
+#include "layout/spring_layout.h"
+#include "metrics/kcore.h"
+
+namespace graphscape {
+namespace {
+
+// Two 6-cliques joined by a single bridge edge.
+Graph TwoCliques() {
+  GraphBuilder builder(12);
+  for (VertexId a = 0; a < 6; ++a) {
+    for (VertexId b = a + 1; b < 6; ++b) {
+      builder.AddEdge(a, b);
+      builder.AddEdge(a + 6, b + 6);
+    }
+  }
+  builder.AddEdge(5, 6);
+  return builder.Build();
+}
+
+double Distance(const Point2& a, const Point2& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+bool InUnitSquare(const Positions& pos) {
+  for (const Point2& p : pos) {
+    if (!(p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0)) return false;
+  }
+  return true;
+}
+
+TEST(SpringLayoutTest, DeterministicAndInsideUnitSquare) {
+  Rng rng(3);
+  const Graph g = BarabasiAlbert(256, 3, &rng);
+  SpringLayoutOptions options;
+  options.iterations = 30;
+  const Positions a = SpringLayout(g, options);
+  const Positions b = SpringLayout(g, options);
+  ASSERT_EQ(a.size(), g.NumVertices());
+  EXPECT_TRUE(InUnitSquare(a));
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_DOUBLE_EQ(a[v].x, b[v].x);
+    EXPECT_DOUBLE_EQ(a[v].y, b[v].y);
+  }
+}
+
+TEST(SpringLayoutTest, PullsCliquesTogether) {
+  const Graph g = TwoCliques();
+  SpringLayoutOptions options;
+  options.iterations = 200;
+  const Positions pos = SpringLayout(g, options);
+  double intra = 0.0, inter = 0.0;
+  uint32_t intra_pairs = 0, inter_pairs = 0;
+  for (VertexId a = 0; a < 12; ++a) {
+    for (VertexId b = a + 1; b < 12; ++b) {
+      const bool same = (a < 6) == (b < 6);
+      (same ? intra : inter) += Distance(pos[a], pos[b]);
+      ++(same ? intra_pairs : inter_pairs);
+    }
+  }
+  EXPECT_LT(intra / intra_pairs, inter / inter_pairs)
+      << "clique members should sit closer to each other than to the "
+         "other clique";
+}
+
+TEST(SpringLayoutTest, RefineKeepsSizeAndCentersSingleton) {
+  GraphBuilder builder(1);
+  const Graph g = builder.Build();
+  Positions pos(1, Point2{0.1, 0.9});
+  RefineSpringLayout(g, SpringLayoutOptions{}, &pos);
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_DOUBLE_EQ(pos[0].x, 0.5);
+  EXPECT_DOUBLE_EQ(pos[0].y, 0.5);
+}
+
+TEST(LanetViTest, ReportsCoreDecompositionAndRingOrder) {
+  const Graph g = TwoCliques();
+  const LanetViLayoutResult result = LanetViLayout(g);
+  EXPECT_EQ(result.core_of, CoreNumbers(g));
+  uint32_t expected_max = 0;
+  for (const uint32_t c : result.core_of)
+    expected_max = std::max(expected_max, c);
+  EXPECT_EQ(result.max_core, expected_max);
+  EXPECT_TRUE(InUnitSquare(result.positions));
+
+  // Heterogeneous shells (a BA graph with m attachments is all one
+  // m-core): an 8-clique with a pendant chain spans cores 1..7.
+  GraphBuilder shells(12);
+  for (VertexId a = 0; a < 8; ++a)
+    for (VertexId b = a + 1; b < 8; ++b) shells.AddEdge(a, b);
+  shells.AddEdge(7, 8);
+  shells.AddEdge(8, 9);
+  shells.AddEdge(9, 10);
+  shells.AddEdge(10, 11);
+  const Graph ba = shells.Build();
+  const LanetViLayoutResult lanetvi = LanetViLayout(ba);
+  // Densest shell innermost: mean distance from center must grow as the
+  // core number drops.
+  const std::vector<uint32_t> cores = CoreNumbers(ba);
+  uint32_t kmax = 0, kmin = 0xffffffffu;
+  for (const uint32_t c : cores) {
+    kmax = std::max(kmax, c);
+    kmin = std::min(kmin, c);
+  }
+  ASSERT_GT(kmax, kmin);
+  double top_radius = 0.0, bottom_radius = 0.0;
+  uint32_t top_count = 0, bottom_count = 0;
+  for (VertexId v = 0; v < ba.NumVertices(); ++v) {
+    const double r = Distance(lanetvi.positions[v], Point2{0.5, 0.5});
+    if (cores[v] == kmax) {
+      top_radius += r;
+      ++top_count;
+    } else if (cores[v] == kmin) {
+      bottom_radius += r;
+      ++bottom_count;
+    }
+  }
+  ASSERT_GT(top_count, 0u);
+  ASSERT_GT(bottom_count, 0u);
+  EXPECT_LT(top_radius / top_count, bottom_radius / bottom_count);
+}
+
+TEST(CsvPlotTest, OrderIsPermutationCarryingDensities) {
+  Rng rng(5);
+  const Graph g = BarabasiAlbert(128, 3, &rng);
+  std::vector<double> density(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v)
+    density[v] = static_cast<double>(g.Degree(v));
+  const CsvPlot plot = BuildCsvPlot(g, density);
+  ASSERT_EQ(plot.order.size(), g.NumVertices());
+  ASSERT_EQ(plot.heights.size(), g.NumVertices());
+  const std::set<VertexId> unique(plot.order.begin(), plot.order.end());
+  EXPECT_EQ(unique.size(), g.NumVertices());
+  for (uint32_t i = 0; i < plot.order.size(); ++i)
+    EXPECT_DOUBLE_EQ(plot.heights[i], density[plot.order[i]]);
+  EXPECT_DOUBLE_EQ(
+      plot.max_height,
+      *std::max_element(density.begin(), density.end()));
+}
+
+TEST(CsvPlotTest, DenseCoreDrainsContiguously) {
+  // Clique {0..5} at density 2, everything else at 1: the greedy
+  // densest-first expansion must emit the whole clique as one prefix.
+  const Graph g = TwoCliques();
+  std::vector<double> density(g.NumVertices(), 1.0);
+  for (VertexId v = 0; v < 6; ++v) density[v] = 2.0;
+  const CsvPlot plot = BuildCsvPlot(g, density);
+  for (uint32_t i = 0; i < 6; ++i) {
+    EXPECT_LT(plot.order[i], 6u)
+        << "dense clique interrupted at curve position " << i;
+  }
+}
+
+TEST(OpenOrdTest, DeterministicUnitSquareLayoutAtEveryScale) {
+  // Small graphs skip coarsening entirely; larger ones exercise the
+  // multilevel path (coarsen -> spring -> project -> refine).
+  Rng rng(7);
+  for (const uint32_t n : {32u, 600u}) {
+    const Graph g = BarabasiAlbert(n, 3, &rng);
+    OpenOrdOptions options;
+    options.coarse_iterations = 40;
+    options.refine_iterations = 10;
+    options.min_coarse_vertices = 64;
+    const Positions a = OpenOrdLayout(g, options);
+    const Positions b = OpenOrdLayout(g, options);
+    ASSERT_EQ(a.size(), g.NumVertices());
+    EXPECT_TRUE(InUnitSquare(a));
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_DOUBLE_EQ(a[v].x, b[v].x);
+      EXPECT_DOUBLE_EQ(a[v].y, b[v].y);
+    }
+  }
+}
+
+TEST(OpenOrdTest, MultilevelSeparatesCliquesLikeSpringCore) {
+  const Graph g = TwoCliques();
+  const Positions pos = OpenOrdLayout(g);
+  double intra = 0.0, inter = 0.0;
+  uint32_t intra_pairs = 0, inter_pairs = 0;
+  for (VertexId a = 0; a < 12; ++a) {
+    for (VertexId b = a + 1; b < 12; ++b) {
+      const bool same = (a < 6) == (b < 6);
+      (same ? intra : inter) += Distance(pos[a], pos[b]);
+      ++(same ? intra_pairs : inter_pairs);
+    }
+  }
+  EXPECT_LT(intra / intra_pairs, inter / inter_pairs);
+}
+
+}  // namespace
+}  // namespace graphscape
