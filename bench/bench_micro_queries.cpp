@@ -122,7 +122,8 @@ void BM_TreeIoRoundtrip(benchmark::State& state) {
   artifact.field_values = kc.Values();
   size_t bytes = 0;
   for (auto _ : state) {
-    const std::string serialized = SerializeTreeArtifact(artifact);
+    const std::string serialized =
+        SerializeTreeArtifact(artifact).value();
     bytes = serialized.size();
     auto loaded = DeserializeTreeArtifact(serialized);
     benchmark::DoNotOptimize(loaded);

@@ -31,6 +31,15 @@ inline std::string OutputDir() {
   return dir;
 }
 
+/// Tree-artifact cache root for figure benches: $GRAPHSCAPE_CACHE_DIR or
+/// ./tree_cache. Kept separate from OutputDir() so CI can upload rendered
+/// figures without dragging cached artifacts along, and persist the cache
+/// across runs independently.
+inline std::string CacheDir() {
+  const char* env = std::getenv("GRAPHSCAPE_CACHE_DIR");
+  return env != nullptr ? env : "tree_cache";
+}
+
 /// True when the caller asked for paper-scale datasets
 /// ($GRAPHSCAPE_FULL_SCALE set to 1/true/yes, case-insensitive); default is
 /// the scaled-down registry sizes.

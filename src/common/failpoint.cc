@@ -1,0 +1,226 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace graphscape {
+namespace failpoint {
+namespace {
+
+struct ArmedState {
+  Spec spec;
+  Rng rng{0};
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  bool armed = false;  // false after Disarm: counters readable, never fires
+};
+
+// g_armed_count gates the fast path: zero means no failpoint anywhere is
+// armed and Fire() returns after one relaxed load. It counts ARMED
+// entries (disarmed entries linger in the map only for their counters).
+std::atomic<int> g_armed_count{0};
+
+std::mutex& Mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::map<std::string, ArmedState>& Registry() {
+  static std::map<std::string, ArmedState>* r =
+      new std::map<std::string, ArmedState>;
+  return *r;
+}
+
+// Parses one "name=spec" clause. Returns false (with *error set) on
+// grammar violations; never arms partially.
+bool ParseClause(const std::string& clause, std::string* name, Spec* spec,
+                 std::string* error) {
+  const size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    *error = "expected name=spec in '" + clause + "'";
+    return false;
+  }
+  *name = clause.substr(0, eq);
+  const std::string body = clause.substr(eq + 1);
+  const size_t paren = body.find('(');
+  const std::string kind =
+      paren == std::string::npos ? body : body.substr(0, paren);
+  std::string args;
+  if (paren != std::string::npos) {
+    if (body.back() != ')') {
+      *error = "unterminated argument list in '" + clause + "'";
+      return false;
+    }
+    args = body.substr(paren + 1, body.size() - paren - 2);
+  }
+  char* end = nullptr;
+  if (kind == "always" && args.empty()) {
+    *spec = Spec::Always();
+    return true;
+  }
+  if (kind == "once") {
+    uint64_t nth = 0;
+    if (!args.empty()) {
+      nth = std::strtoull(args.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        *error = "bad once() argument in '" + clause + "'";
+        return false;
+      }
+    }
+    *spec = Spec::Once(nth);
+    return true;
+  }
+  if (kind == "after") {
+    const uint64_t n = std::strtoull(args.c_str(), &end, 10);
+    if (args.empty() || end == nullptr || *end != '\0') {
+      *error = "bad after() argument in '" + clause + "'";
+      return false;
+    }
+    *spec = Spec::After(n);
+    return true;
+  }
+  if (kind == "prob") {
+    const size_t comma = args.find(',');
+    const std::string p_str =
+        comma == std::string::npos ? args : args.substr(0, comma);
+    const double p = std::strtod(p_str.c_str(), &end);
+    if (p_str.empty() || end == nullptr || *end != '\0' || p < 0.0 ||
+        p > 1.0) {
+      *error = "bad prob() probability in '" + clause + "'";
+      return false;
+    }
+    uint64_t seed = Spec().seed;
+    if (comma != std::string::npos) {
+      const std::string s_str = args.substr(comma + 1);
+      seed = std::strtoull(s_str.c_str(), &end, 10);
+      if (s_str.empty() || end == nullptr || *end != '\0') {
+        *error = "bad prob() seed in '" + clause + "'";
+        return false;
+      }
+    }
+    *spec = Spec::Probability(p, seed);
+    return true;
+  }
+  *error = "unknown spec '" + body + "' in '" + clause + "'";
+  return false;
+}
+
+// Environment arming runs once, before main touches any seam: a static
+// initializer in this TU. Failures are fatal — a CI job that armed a
+// misspelled failpoint must not silently run fault-free.
+struct EnvArmer {
+  EnvArmer() {
+    const char* env = std::getenv("GRAPHSCAPE_FAILPOINTS");
+    if (env == nullptr || env[0] == '\0') return;
+    const Status status = ArmFromString(env);
+    if (!status.ok()) {
+      std::fprintf(stderr, "GRAPHSCAPE_FAILPOINTS: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+};
+const EnvArmer g_env_armer;
+
+}  // namespace
+
+bool Fire(const char* name) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end() || !it->second.armed) return false;
+  ArmedState& state = it->second;
+  const uint64_t hit = state.hits++;
+  if (hit < state.spec.skip) return false;
+  if (state.spec.max_fires != 0 && state.fires >= state.spec.max_fires) {
+    return false;
+  }
+  if (state.spec.probability < 1.0 &&
+      state.rng.UniformDouble() >= state.spec.probability) {
+    return false;
+  }
+  ++state.fires;
+  return true;
+}
+
+void Arm(const std::string& name, const Spec& spec) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  ArmedState& state = Registry()[name];
+  if (!state.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  state.spec = spec;
+  state.rng = Rng(spec.seed);
+  state.hits = 0;
+  state.fires = 0;
+  state.armed = true;
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  for (auto& entry : Registry()) {
+    if (entry.second.armed) {
+      entry.second.armed = false;
+      g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+uint64_t FireCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+Status ArmFromString(const std::string& armed_list) {
+  // Parse the whole list before arming anything, so a bad clause can't
+  // leave a half-armed configuration behind.
+  std::vector<std::pair<std::string, Spec>> parsed;
+  size_t start = 0;
+  while (start <= armed_list.size()) {
+    size_t end = armed_list.find(';', start);
+    if (end == std::string::npos) end = armed_list.size();
+    const std::string clause = armed_list.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) continue;
+    std::string name, error;
+    Spec spec;
+    if (!ParseClause(clause, &name, &spec, &error)) {
+      return Status::InvalidArgument("failpoint: " + error);
+    }
+    parsed.emplace_back(std::move(name), spec);
+  }
+  for (const auto& entry : parsed) Arm(entry.first, entry.second);
+  return Status::Ok();
+}
+
+Status InjectedFault(const char* name) {
+  return Status::Unavailable(
+      StrPrintf("injected fault at failpoint '%s'", name));
+}
+
+}  // namespace failpoint
+}  // namespace graphscape

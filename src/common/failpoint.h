@@ -1,0 +1,108 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Named failpoints: the fault-injection seams the recovery test suite
+// and CI drive. Every fallible boundary in the I/O and budget layers is
+// labeled with a stable name ("fs/rename", "cache/crash_after_temp",
+// "budget/charge", ...; the catalog lives in docs/ROBUSTNESS.md) and
+// asks Fire(name) whether to fail THIS hit. Failpoints are always
+// compiled in — no build flavor divergence between what CI proves and
+// what ships — and cost exactly one relaxed atomic load while nothing is
+// armed, so production paths pay nothing measurable.
+//
+// Arming is programmatic (Arm / ScopedFailpoint, the unit-test path) or
+// via the environment (the CI fault-injection job):
+//
+//   GRAPHSCAPE_FAILPOINTS="fs/fsync=once;cache/load_corrupt=after(2)"
+//
+// parsed once at process start. Spec grammar, per failpoint:
+//
+//   always        every hit fires
+//   once          the next hit fires, later hits pass
+//   once(N)       hits 0..N-1 pass, hit N fires, later hits pass
+//   after(N)      hits 0..N-1 pass, every hit >= N fires
+//   prob(P)       each hit fires with probability P (seeded, deterministic)
+//   prob(P,S)     same with explicit seed S
+//
+// Trigger decisions are made under a mutex (armed state only — the
+// disarmed fast path never touches it); hit/fire counters let tests
+// assert a seam was actually exercised.
+
+#ifndef GRAPHSCAPE_COMMON_FAILPOINT_H_
+#define GRAPHSCAPE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace graphscape {
+namespace failpoint {
+
+/// When and how often an armed failpoint fires. The factory functions
+/// below match the env grammar; the fields compose (skip, then cap,
+/// then probability) for anything the grammar can't say.
+struct Spec {
+  uint64_t skip = 0;         ///< pass this many hits before firing
+  uint64_t max_fires = 0;    ///< stop firing after this many (0 = no cap)
+  double probability = 1.0;  ///< chance an eligible hit fires
+  uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< for the probability draw
+
+  static Spec Always() { return Spec{}; }
+  static Spec Once(uint64_t nth = 0) { return Spec{nth, 1, 1.0, 0}; }
+  static Spec After(uint64_t n) { return Spec{n, 0, 1.0, 0}; }
+  static Spec Probability(double p, uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    return Spec{0, 0, p, seed};
+  }
+};
+
+/// Should the seam named `name` fail this hit? The only call sites are
+/// the labeled seams themselves. One relaxed atomic load when nothing at
+/// all is armed (the steady production state).
+bool Fire(const char* name);
+
+/// Arm `name` with `spec`; replaces any previous arming (and resets its
+/// counters).
+void Arm(const std::string& name, const Spec& spec);
+
+/// Disarm one failpoint / every failpoint. Counters are kept until the
+/// name is re-armed, so tests can Disarm then assert FireCount.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Lifetime hits (Fire calls) and actual fires for `name` since it was
+/// last armed. 0 for names never armed.
+uint64_t HitCount(const std::string& name);
+uint64_t FireCount(const std::string& name);
+
+/// Parses "name=spec[;name=spec...]" (the GRAPHSCAPE_FAILPOINTS value)
+/// and arms every entry. InvalidArgument names the offending clause.
+Status ArmFromString(const std::string& armed_list);
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor so a failing test can't leak an armed seam into the next.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, const Spec& spec) : name_(std::move(name)) {
+    Arm(name_, spec);
+  }
+  ~ScopedFailpoint() { Disarm(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  uint64_t fire_count() const { return FireCount(name_); }
+  uint64_t hit_count() const { return HitCount(name_); }
+
+ private:
+  std::string name_;
+};
+
+/// The Status an injected fault surfaces as: Unavailable (the transient,
+/// retryable class) with the seam name in the message, so a test or log
+/// line can tell an injected fault from a real one.
+Status InjectedFault(const char* name);
+
+}  // namespace failpoint
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_COMMON_FAILPOINT_H_

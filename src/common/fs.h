@@ -1,0 +1,74 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Hardened POSIX file I/O — the only layer in the repo that touches the
+// filesystem. Every operation:
+//
+//   * retries EINTR and loops short reads/writes to completion,
+//   * distinguishes NotFound (ENOENT) from Unavailable (every other
+//     errno — the transient, retryable class) in the returned Status,
+//   * is a labeled failpoint seam (fs/open_read, fs/read, fs/open_write,
+//     fs/short_write, fs/write, fs/fsync, fs/rename, fs/remove,
+//     fs/read_corrupt — docs/ROBUSTNESS.md has the catalog), so the
+//     recovery suite can inject any I/O failure without a real disk
+//     fault.
+//
+// WriteFileBytesAtomic is the crash-safety primitive the TreeArtifact
+// cache and SaveTreeArtifact build on: bytes land in `path + ".tmp"`,
+// are fsynced, renamed over `path`, and the parent directory is fsynced
+// — a crash at any step leaves either the old file intact or a stale
+// .tmp that recovery deletes; never a half-written `path`.
+
+#ifndef GRAPHSCAPE_COMMON_FS_H_
+#define GRAPHSCAPE_COMMON_FS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graphscape {
+
+/// The whole file as bytes. NotFound if `path` does not exist,
+/// Unavailable on any other I/O failure.
+StatusOr<std::string> ReadFileBytes(const std::string& path);
+
+/// Plain (non-atomic) write: create/truncate, write everything, then
+/// fsync when `sync` — the temp-file half of an atomic write, or a file
+/// whose partial existence is harmless.
+Status WriteFileBytes(const std::string& path, const std::string& bytes,
+                      bool sync);
+
+/// Crash-safe replace of `path` with `bytes`: temp write + fsync +
+/// rename + parent-directory fsync. On failure the previous `path`
+/// content (if any) is untouched and the temp file is best-effort
+/// removed.
+Status WriteFileBytesAtomic(const std::string& path,
+                            const std::string& bytes);
+
+/// rename(2). NotFound if `from` is missing, Unavailable otherwise.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// unlink(2). OK if the file was already gone (callers remove stale
+/// temps without caring who won the race).
+Status RemoveFile(const std::string& path);
+
+/// True iff `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// Size in bytes. NotFound / Unavailable like ReadFileBytes.
+StatusOr<uint64_t> FileSizeBytes(const std::string& path);
+
+/// mkdir -p one level at a time; OK if it already exists.
+Status MakeDirs(const std::string& path);
+
+/// Regular-file names (not paths) directly inside `dir`, sorted.
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// fsync the directory itself so a renamed-in entry survives a crash.
+Status SyncDir(const std::string& dir);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_COMMON_FS_H_

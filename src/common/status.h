@@ -1,12 +1,23 @@
 // Copyright 2026 The GraphScape Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// Minimal Status / StatusOr for operations that can fail for resource
-// reasons rather than programmer error — e.g. the naive dual-graph
-// edge-tree baseline, whose line graph is Θ(Σ deg²) and must be guarded
-// by a size cap instead of silently exhausting memory on hub-heavy
-// graphs. Deliberately tiny: two error codes cover every current caller;
-// grow it only when a new code is actually needed.
+// Minimal Status / StatusOr for operations that can fail for resource or
+// environmental reasons rather than programmer error. The code set is
+// deliberately small and grown only when a caller actually branches on a
+// new code:
+//
+//   kInvalidArgument    hostile or malformed input (bad artifact bytes)
+//   kResourceExhausted  a size/byte cap would be exceeded (naive edge
+//                       tree guard, ResourceBudget::ChargeBytes)
+//   kNotFound           the named thing does not exist (missing file,
+//                       cache key never stored) — distinct from an I/O
+//                       error so callers can rebuild instead of retrying
+//   kDataLoss           bytes were stored but came back wrong (checksum
+//                       mismatch, torn write) — the cache quarantines
+//                       and rebuilds on this code
+//   kUnavailable        transient environmental failure (EINTR-class
+//                       I/O, injected faults) — the only retryable code
+//   kDeadlineExceeded   a ResourceBudget deadline expired
 
 #ifndef GRAPHSCAPE_COMMON_STATUS_H_
 #define GRAPHSCAPE_COMMON_STATUS_H_
@@ -21,6 +32,10 @@ enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
   kResourceExhausted,
+  kNotFound,
+  kDataLoss,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 class Status {
@@ -33,6 +48,18 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -47,6 +74,14 @@ class Status {
         return "INVALID_ARGUMENT: " + message_;
       case StatusCode::kResourceExhausted:
         return "RESOURCE_EXHAUSTED: " + message_;
+      case StatusCode::kNotFound:
+        return "NOT_FOUND: " + message_;
+      case StatusCode::kDataLoss:
+        return "DATA_LOSS: " + message_;
+      case StatusCode::kUnavailable:
+        return "UNAVAILABLE: " + message_;
+      case StatusCode::kDeadlineExceeded:
+        return "DEADLINE_EXCEEDED: " + message_;
     }
     return "UNKNOWN";
   }
@@ -58,6 +93,12 @@ class Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+/// The transient class: worth retrying with backoff (common/retry.h).
+/// Everything else is deterministic — retrying can't help.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
 
 /// Either a value or the Status explaining its absence. value() asserts
 /// ok(); callers branch on ok() first (see bench_table2_construction.cpp).

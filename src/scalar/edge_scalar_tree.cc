@@ -99,6 +99,30 @@ ScalarTree BuildEdgeScalarTree(const Graph& g, const EdgeIndex& index,
                     field.Values());
 }
 
+uint64_t EdgeScalarTreeBuildBytes(uint32_t num_vertices,
+                                  uint64_t num_edges) {
+  // Per vertex: uf + comp_size + head (u32 each). Per edge: order +
+  // rank + parents + eu + ev (u32 each) plus the values copy (f64).
+  return static_cast<uint64_t>(num_vertices) * 12 + num_edges * (5 * 4 + 8);
+}
+
+StatusOr<ScalarTree> BuildEdgeScalarTreeGuarded(const Graph& g,
+                                                const EdgeScalarField& field,
+                                                ResourceBudget* budget) {
+  if (field.Size() != g.NumEdges()) {
+    return Status::InvalidArgument(StrPrintf(
+        "edge_scalar_tree: field has %u values for %llu edges",
+        field.Size(), static_cast<unsigned long long>(g.NumEdges())));
+  }
+  Status status = CheckBudgetDeadline(budget, "BuildEdgeScalarTree");
+  if (!status.ok()) return status;
+  status = ChargeBudget(
+      budget, EdgeScalarTreeBuildBytes(g.NumVertices(), g.NumEdges()),
+      "BuildEdgeScalarTree");
+  if (!status.ok()) return status;
+  return BuildEdgeScalarTree(g, field);
+}
+
 StatusOr<ScalarTree> BuildEdgeScalarTreeNaive(const Graph& g,
                                               const EdgeScalarField& field,
                                               uint64_t max_line_edges) {

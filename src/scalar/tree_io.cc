@@ -4,9 +4,7 @@
 #include "scalar/tree_io.h"
 
 #include <cmath>
-#include <cstdio>
 #include <cstring>
-#include <stdexcept>
 
 #include "common/string_util.h"
 
@@ -94,7 +92,7 @@ class Reader {
 
 }  // namespace
 
-std::string SerializeTreeArtifact(const TreeArtifact& artifact) {
+StatusOr<std::string> SerializeTreeArtifact(const TreeArtifact& artifact) {
   const SuperTree& tree = artifact.tree;
   const uint32_t n = tree.NumNodes();
   const uint32_t m = tree.NumElements();
@@ -104,9 +102,9 @@ std::string SerializeTreeArtifact(const TreeArtifact& artifact) {
   // in every build type — serializing past the vector would emit a
   // corrupt-but-checksummed artifact.
   if (has_field && artifact.field_values.size() != m) {
-    throw std::invalid_argument(
-        "tree_io: field has " + std::to_string(artifact.field_values.size()) +
-        " values for " + std::to_string(m) + " elements");
+    return Status::InvalidArgument(StrPrintf(
+        "tree_io: field has %zu values for %u elements",
+        artifact.field_values.size(), m));
   }
 
   std::string out;
@@ -212,9 +210,13 @@ StatusOr<TreeArtifact> DeserializeTreeArtifact(const std::string& bytes) {
   const uint64_t actual_checksum =
       Fnv1a(bytes.data(), reader.Position());
   uint64_t stored_checksum;
-  if (!reader.ReadU64(&stored_checksum) ||
-      stored_checksum != actual_checksum) {
-    return Status::InvalidArgument("tree_io: checksum mismatch");
+  if (!reader.ReadU64(&stored_checksum)) {
+    return Status::InvalidArgument("tree_io: truncated checksum");
+  }
+  if (stored_checksum != actual_checksum) {
+    // The layout was intact but the payload bytes are not the ones that
+    // were checksummed: stored data came back wrong.
+    return Status::DataLoss("tree_io: checksum mismatch");
   }
 
   // Structural validation: everything SuperTree's from-parts constructor
@@ -272,17 +274,9 @@ StatusOr<TreeArtifact> DeserializeTreeArtifact(const std::string& bytes) {
 
 Status SaveTreeArtifact(const TreeArtifact& artifact,
                         const std::string& path) {
-  const std::string bytes = SerializeTreeArtifact(artifact);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("tree_io: cannot open " + path);
-  }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool closed_ok = std::fclose(f) == 0;
-  if (written != bytes.size() || !closed_ok) {
-    return Status::InvalidArgument("tree_io: short write to " + path);
-  }
-  return Status::Ok();
+  StatusOr<std::string> bytes = SerializeTreeArtifact(artifact);
+  if (!bytes.ok()) return bytes.status();
+  return WriteFileBytesAtomic(path, bytes.value());
 }
 
 StatusOr<TreeArtifact> LoadTreeArtifact(const std::string& path) {
@@ -291,23 +285,8 @@ StatusOr<TreeArtifact> LoadTreeArtifact(const std::string& path) {
   return DeserializeTreeArtifact(bytes.value());
 }
 
-StatusOr<std::string> ReadFileBytes(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("tree_io: cannot open " + path);
-  }
-  std::string bytes;
-  char buffer[1 << 16];
-  size_t got;
-  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    bytes.append(buffer, got);
-  }
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) {
-    return Status::InvalidArgument("tree_io: read error on " + path);
-  }
-  return bytes;
+uint64_t Fnv1aChecksum(const std::string& bytes) {
+  return Fnv1a(bytes.data(), bytes.size());
 }
 
 }  // namespace graphscape

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/status.h"
 #include "scalar/super_tree.h"
 
@@ -52,24 +53,34 @@ struct TreeArtifact {
 
 /// The artifact as bytes (layout above). Deterministic: equal artifacts
 /// produce equal strings everywhere. A non-empty field of the wrong
-/// length throws std::invalid_argument in every build type.
-std::string SerializeTreeArtifact(const TreeArtifact& artifact);
+/// length is InvalidArgument in every build type — never an exception,
+/// and never a checksummed-but-corrupt artifact.
+StatusOr<std::string> SerializeTreeArtifact(const TreeArtifact& artifact);
 
-/// Parses and fully validates. InvalidArgument on bad magic, newer
-/// version, truncation, checksum mismatch, or any violated tree
-/// invariant.
+/// Parses and fully validates. Hostile bytes always come back as a
+/// structured Status, never an exception or a broken tree:
+/// InvalidArgument on bad magic, newer version, truncation, or any
+/// violated tree invariant; DataLoss when the layout parses but the
+/// checksum disagrees (bytes were stored and came back wrong — the
+/// cache's quarantine-and-rebuild trigger).
 StatusOr<TreeArtifact> DeserializeTreeArtifact(const std::string& bytes);
 
-/// Serialize to / parse from a file. File errors map to
-/// InvalidArgument with the path in the message.
+/// Serialize to / parse from a file. SaveTreeArtifact is crash-safe:
+/// bytes go through common/fs.h's WriteFileBytesAtomic (temp + fsync +
+/// rename + dir fsync), so `path` is only ever absent, the old version,
+/// or the complete new version. File errors keep the fs layer's codes:
+/// NotFound for a missing file, Unavailable for transient I/O (the
+/// retryable class). ReadFileBytes — the read half, which callers like
+/// tools/tree_io_check.cc use to byte-compare artifacts — now lives in
+/// common/fs.h, re-exported via the include above.
 Status SaveTreeArtifact(const TreeArtifact& artifact,
                         const std::string& path);
 StatusOr<TreeArtifact> LoadTreeArtifact(const std::string& path);
 
-/// The whole file as bytes — the read half of LoadTreeArtifact, exposed
-/// for callers (tools/tree_io_check.cc) that byte-compare artifacts
-/// against re-serializations.
-StatusOr<std::string> ReadFileBytes(const std::string& path);
+/// FNV-1a over `bytes` — the same hash the artifact trailer embeds,
+/// exposed so the artifact cache's manifest rows and the recovery tests
+/// checksum entry files identically.
+uint64_t Fnv1aChecksum(const std::string& bytes);
 
 }  // namespace graphscape
 

@@ -1,0 +1,96 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Budget-guarded terrain rendering: the full field -> tree -> layout ->
+// raster -> image pipeline behind a ResourceBudget, degrading
+// deliberately instead of dying in the allocator when a paper-scale
+// render would blow the cap. The ladder, tried in order until a rung's
+// working set fits the budget:
+//
+//   1. the full-detail tree at the requested resolution;
+//   2. a persistence-simplified tree (scalar/persistence.h — features
+//      below a fraction of the field range are cancelled), same
+//      resolution: fewer super nodes, smaller layout, less overdraw;
+//   3. the simplified tree with raster AND image resolution halved,
+//      then quartered, ... down to min_raster_dim;
+//   4. ResourceExhausted — every rung refused.
+//
+// Each rung charges its estimated working set (the formula is public so
+// tests pin the ladder exactly) BEFORE building anything; a refused
+// charge costs nothing and the next rung is tried. On success everything
+// except the returned image is released back to the budget. The deadline
+// is checked between rungs; an expired budget fails fast with
+// DeadlineExceeded rather than rendering a stale frame.
+
+#ifndef GRAPHSCAPE_TERRAIN_GUARDED_RENDER_H_
+#define GRAPHSCAPE_TERRAIN_GUARDED_RENDER_H_
+
+#include <cstdint>
+
+#include "common/budget.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "scalar/edge_scalar_tree.h"
+#include "scalar/scalar_field.h"
+#include "terrain/render.h"
+#include "terrain/terrain_layout.h"
+#include "terrain/terrain_raster.h"
+
+namespace graphscape {
+
+struct GuardedRenderOptions {
+  /// Full-resolution request; degradation halves from here.
+  RasterOptions raster;
+  uint32_t image_width = 960;
+  uint32_t image_height = 720;
+  Camera camera;
+  TerrainLayoutOptions layout;
+  /// Rung-2 persistence threshold as a fraction of the field's value
+  /// range (the features a reader can't see at reduced budget anyway).
+  double simplify_persistence_fraction = 0.02;
+  /// Halving stops once either raster dimension would drop below this;
+  /// the next refusal is final.
+  uint32_t min_raster_dim = 64;
+};
+
+/// What was rendered and how degraded it is.
+struct GuardedRenderResult {
+  Image image;
+  bool tree_simplified = false;  ///< rung 2+ (persistence-simplified)
+  uint32_t halvings = 0;         ///< rung 3+: times the resolution halved
+  uint32_t raster_width = 0;     ///< actual raster dims used
+  uint32_t raster_height = 0;
+  uint32_t tree_nodes = 0;       ///< super nodes in the rendered tree
+  /// Bytes still charged against the budget on return (the image the
+  /// caller now owns); release when the image is dropped.
+  uint64_t retained_bytes = 0;
+};
+
+/// Estimated working-set bytes of one render rung: layout + member index
+/// + node colors (per super node), the height field (12 bytes/pixel),
+/// and the output image (3 bytes/pixel). This is exactly what a rung
+/// charges, so tests can compute which rung a given cap lands on.
+uint64_t TerrainRenderWorkingBytes(uint32_t tree_nodes,
+                                   uint32_t raster_width,
+                                   uint32_t raster_height,
+                                   uint32_t image_width,
+                                   uint32_t image_height);
+
+/// Vertex-field pipeline: guarded Algorithm 1 build (its working set is
+/// charged too, via BuildVertexScalarTreeGuarded), then the ladder.
+/// InvalidArgument on a field/graph size mismatch; ResourceExhausted
+/// when even the cheapest rung refuses; DeadlineExceeded between rungs.
+/// The rung-2 rebuild reuses the standing tree-build charge (the
+/// original sweep's arrays are dropped before it runs).
+StatusOr<GuardedRenderResult> RenderVertexTerrainGuarded(
+    const Graph& g, const VertexScalarField& field, ResourceBudget* budget,
+    const GuardedRenderOptions& options = {});
+
+/// Edge-field twin (guarded Algorithm 3 + the same ladder).
+StatusOr<GuardedRenderResult> RenderEdgeTerrainGuarded(
+    const Graph& g, const EdgeScalarField& field, ResourceBudget* budget,
+    const GuardedRenderOptions& options = {});
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_TERRAIN_GUARDED_RENDER_H_

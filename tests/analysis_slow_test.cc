@@ -124,10 +124,13 @@ TEST(AnalysisSlowTest, ArtifactRoundtripsAtRegistryScale) {
 
     for (const TreeArtifact* artifact :
          {&vertex_artifact, &edge_artifact}) {
-      const std::string bytes = SerializeTreeArtifact(*artifact);
-      const auto loaded = DeserializeTreeArtifact(bytes);
+      const auto bytes = SerializeTreeArtifact(*artifact);
+      ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+      const auto loaded = DeserializeTreeArtifact(bytes.value());
       ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-      EXPECT_EQ(SerializeTreeArtifact(loaded.value()), bytes);
+      const auto again = SerializeTreeArtifact(loaded.value());
+      ASSERT_TRUE(again.ok()) << again.status().ToString();
+      EXPECT_EQ(again.value(), bytes.value());
     }
   }
 }

@@ -1,0 +1,172 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The failpoint registry: every trigger mode fires exactly per spec,
+// counters account for each decision, arming is all-or-nothing from the
+// env grammar, and the disarmed fast path stays inert.
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace graphscape {
+namespace failpoint {
+namespace {
+
+// Every test disarms what it arms; this fixture backstops a failing test
+// so a leaked armed seam can't fault the rest of the binary.
+class FailpointTest : public ::testing::Test {
+ protected:
+  ~FailpointTest() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedNeverFires) {
+  EXPECT_FALSE(Fire("test/never_armed"));
+  EXPECT_EQ(HitCount("test/never_armed"), 0u);
+  EXPECT_EQ(FireCount("test/never_armed"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit) {
+  Arm("test/always", Spec::Always());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(Fire("test/always"));
+  EXPECT_EQ(HitCount("test/always"), 5u);
+  EXPECT_EQ(FireCount("test/always"), 5u);
+}
+
+TEST_F(FailpointTest, OnceFiresTheFirstHitOnly) {
+  Arm("test/once", Spec::Once());
+  EXPECT_TRUE(Fire("test/once"));
+  EXPECT_FALSE(Fire("test/once"));
+  EXPECT_FALSE(Fire("test/once"));
+  EXPECT_EQ(FireCount("test/once"), 1u);
+  EXPECT_EQ(HitCount("test/once"), 3u);
+}
+
+TEST_F(FailpointTest, OnceNthSkipsThenFiresExactlyOnce) {
+  Arm("test/once_nth", Spec::Once(2));
+  EXPECT_FALSE(Fire("test/once_nth"));  // hit 0
+  EXPECT_FALSE(Fire("test/once_nth"));  // hit 1
+  EXPECT_TRUE(Fire("test/once_nth"));   // hit 2
+  EXPECT_FALSE(Fire("test/once_nth"));  // capped
+  EXPECT_EQ(FireCount("test/once_nth"), 1u);
+}
+
+TEST_F(FailpointTest, AfterFiresEveryHitFromN) {
+  Arm("test/after", Spec::After(3));
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(Fire("test/after"));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(Fire("test/after"));
+  EXPECT_EQ(FireCount("test/after"), 4u);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroAndOneAreDegenerate) {
+  Arm("test/p0", Spec::Probability(0.0));
+  Arm("test/p1", Spec::Probability(1.0));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(Fire("test/p0"));
+    EXPECT_TRUE(Fire("test/p1"));
+  }
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeededAndDeterministic) {
+  // The same seed must reproduce the same fire pattern; re-arming resets
+  // the stream.
+  const auto pattern = [](uint64_t seed) {
+    Arm("test/prob", Spec::Probability(0.5, seed));
+    std::string fired;
+    for (int i = 0; i < 64; ++i) fired += Fire("test/prob") ? '1' : '0';
+    return fired;
+  };
+  const std::string first = pattern(42);
+  EXPECT_EQ(pattern(42), first);
+  EXPECT_NE(pattern(43), first);
+  // 64 draws at p=0.5 land strictly inside (0, 64) for any sane stream.
+  const uint64_t ones = std::count(first.begin(), first.end(), '1');
+  EXPECT_GT(ones, 0u);
+  EXPECT_LT(ones, 64u);
+}
+
+TEST_F(FailpointTest, ReArmingReplacesSpecAndResetsCounters) {
+  Arm("test/rearm", Spec::Always());
+  EXPECT_TRUE(Fire("test/rearm"));
+  Arm("test/rearm", Spec::Once(5));
+  EXPECT_EQ(HitCount("test/rearm"), 0u);
+  EXPECT_FALSE(Fire("test/rearm"));
+}
+
+TEST_F(FailpointTest, DisarmKeepsCountersReadable) {
+  Arm("test/disarm", Spec::Always());
+  EXPECT_TRUE(Fire("test/disarm"));
+  Disarm("test/disarm");
+  EXPECT_FALSE(Fire("test/disarm"));
+  EXPECT_EQ(FireCount("test/disarm"), 1u);
+  EXPECT_EQ(HitCount("test/disarm"), 1u);  // disarmed hits don't count
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnDestruction) {
+  {
+    ScopedFailpoint scoped("test/scoped", Spec::Always());
+    EXPECT_TRUE(Fire("test/scoped"));
+    EXPECT_EQ(scoped.fire_count(), 1u);
+  }
+  EXPECT_FALSE(Fire("test/scoped"));
+}
+
+TEST_F(FailpointTest, ArmFromStringArmsEveryClause) {
+  ASSERT_TRUE(ArmFromString("test/a=always;test/b=once(1);test/c=after(2)")
+                  .ok());
+  EXPECT_TRUE(Fire("test/a"));
+  EXPECT_FALSE(Fire("test/b"));
+  EXPECT_TRUE(Fire("test/b"));
+  EXPECT_FALSE(Fire("test/c"));
+  EXPECT_FALSE(Fire("test/c"));
+  EXPECT_TRUE(Fire("test/c"));
+}
+
+TEST_F(FailpointTest, ArmFromStringParsesProbabilityClauses) {
+  ASSERT_TRUE(ArmFromString("test/pz=prob(0);test/po=prob(1.0,9)").ok());
+  EXPECT_FALSE(Fire("test/pz"));
+  EXPECT_TRUE(Fire("test/po"));
+}
+
+TEST_F(FailpointTest, ArmFromStringRejectsBadSpecsWithoutPartialArming) {
+  // The bad clause comes AFTER a good one: nothing may arm.
+  const Status status =
+      ArmFromString("test/good=always;test/bad=sometimes");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Fire("test/good"));
+
+  EXPECT_FALSE(ArmFromString("noequals").ok());
+  EXPECT_FALSE(ArmFromString("test/x=once(").ok());
+  EXPECT_FALSE(ArmFromString("test/x=once(abc)").ok());
+  EXPECT_FALSE(ArmFromString("test/x=after()").ok());
+  EXPECT_FALSE(ArmFromString("test/x=prob(1.5)").ok());
+  EXPECT_FALSE(ArmFromString("test/x=prob(0.5,)").ok());
+}
+
+TEST_F(FailpointTest, InjectedFaultIsRetryableAndNamesTheSeam) {
+  const Status fault = InjectedFault("cache/manifest_write");
+  EXPECT_EQ(fault.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(fault));
+  EXPECT_NE(fault.message().find("cache/manifest_write"), std::string::npos);
+}
+
+TEST_F(FailpointTest, EnvArmedFailpointIsLive) {
+  // CI's fault-injection job runs this binary with
+  // GRAPHSCAPE_FAILPOINTS="test/env_armed=always" to prove the env path
+  // arms before main; without that env there is nothing to assert.
+  const char* env = std::getenv("GRAPHSCAPE_FAILPOINTS");
+  if (env == nullptr ||
+      std::string(env).find("test/env_armed=always") == std::string::npos) {
+    GTEST_SKIP() << "GRAPHSCAPE_FAILPOINTS does not arm test/env_armed";
+  }
+  EXPECT_TRUE(Fire("test/env_armed"));
+}
+
+}  // namespace
+}  // namespace failpoint
+}  // namespace graphscape

@@ -1,0 +1,335 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Retry backoff (exact schedule under an injected sleeper, deterministic
+// jitter, retry-only-the-retryable), ResourceBudget accounting (charge /
+// release / refusal / injected clock deadline), the budget-guarded tree
+// builds, and the degrading render ladder rung by rung.
+
+#include "common/budget.h"
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "metrics/kcore.h"
+#include "scalar/edge_scalar_tree.h"
+#include "scalar/scalar_tree.h"
+#include "terrain/guarded_render.h"
+
+namespace graphscape {
+namespace {
+
+RetryOptions FastRetry(std::vector<double>* slept) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.jitter_fraction = 0.0;
+  options.sleeper = [slept](double seconds) {
+    if (slept != nullptr) slept->push_back(seconds);
+  };
+  return options;
+}
+
+TEST(RetryTest, BackoffDoublesUpToTheCap) {
+  RetryOptions options;
+  options.initial_backoff_seconds = 0.005;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_seconds = 0.025;
+  options.jitter_fraction = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(options, 1, &rng), 0.005);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(options, 2, &rng), 0.010);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(options, 3, &rng), 0.020);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(options, 4, &rng), 0.025);  // capped
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(options, 9, &rng), 0.025);
+}
+
+TEST(RetryTest, JitterIsSeededDeterministicAndBounded) {
+  RetryOptions options;
+  options.initial_backoff_seconds = 0.1;
+  options.jitter_fraction = 0.25;
+  Rng a(7), b(7), c(8);
+  const double first = RetryBackoffSeconds(options, 1, &a);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(options, 1, &b), first);
+  EXPECT_NE(RetryBackoffSeconds(options, 1, &c), first);
+  EXPECT_GE(first, 0.1 * 0.75);
+  EXPECT_LT(first, 0.1 * 1.25);
+}
+
+TEST(RetryTest, RetriesTransientFailuresThenSucceeds) {
+  std::vector<double> slept;
+  int calls = 0;
+  const Status status = RetryWithBackoff(FastRetry(&slept), [&]() {
+    return ++calls < 3 ? Status::Unavailable("flaky") : Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept.size(), 2u);  // one backoff per failed attempt
+}
+
+TEST(RetryTest, DoesNotRetryDeterministicFailures) {
+  for (const Status& terminal :
+       {Status::InvalidArgument("bad"), Status::NotFound("gone"),
+        Status::DataLoss("torn"), Status::ResourceExhausted("cap")}) {
+    int calls = 0;
+    const Status status = RetryWithBackoff(FastRetry(nullptr), [&]() {
+      ++calls;
+      return terminal;
+    });
+    EXPECT_EQ(status.code(), terminal.code());
+    EXPECT_EQ(calls, 1) << terminal.ToString();
+  }
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  int calls = 0;
+  const Status status = RetryWithBackoff(FastRetry(nullptr), [&]() {
+    ++calls;
+    return Status::Unavailable("always down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, StatusOrFlavorRetriesAndReturnsTheValue) {
+  int calls = 0;
+  const StatusOr<int> result =
+      RetryWithBackoffOr<int>(FastRetry(nullptr), [&]() -> StatusOr<int> {
+        if (++calls < 2) return Status::Unavailable("flaky");
+        return 41 + 1;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(BudgetTest, ChargesReleasesAndTracksPeak) {
+  ResourceBudget budget(1000);
+  EXPECT_TRUE(budget.ChargeBytes(600, "a").ok());
+  EXPECT_TRUE(budget.ChargeBytes(400, "b").ok());
+  EXPECT_EQ(budget.charged_bytes(), 1000u);
+  EXPECT_EQ(budget.remaining_bytes(), 0u);
+  budget.ReleaseBytes(500);
+  EXPECT_EQ(budget.charged_bytes(), 500u);
+  EXPECT_EQ(budget.peak_bytes(), 1000u);
+  budget.ReleaseBytes(9999);  // clamped, never underflows
+  EXPECT_EQ(budget.charged_bytes(), 0u);
+}
+
+TEST(BudgetTest, OverCapChargeRefusesAndLeavesLedgerUnchanged) {
+  ResourceBudget budget(100);
+  ASSERT_TRUE(budget.ChargeBytes(80, "base").ok());
+  const Status refused = budget.ChargeBytes(21, "overflow");
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.charged_bytes(), 80u);  // the refusal charged nothing
+  EXPECT_TRUE(budget.ChargeBytes(20, "fits").ok());
+}
+
+TEST(BudgetTest, DefaultBudgetAndNullptrNeverRefuse) {
+  ResourceBudget unlimited;
+  EXPECT_TRUE(unlimited.ChargeBytes(~0ull >> 1, "huge").ok());
+  EXPECT_TRUE(unlimited.CheckDeadline("never").ok());
+  EXPECT_TRUE(ChargeBudget(nullptr, ~0ull >> 1, "huge").ok());
+  EXPECT_TRUE(CheckBudgetDeadline(nullptr, "never").ok());
+  ReleaseBudget(nullptr, 1);  // must not crash
+}
+
+TEST(BudgetTest, DeadlineExpiresOnTheInjectedClock) {
+  double now = 0.0;
+  ResourceBudget budget(ResourceBudget::kUnlimitedBytes, /*max_seconds=*/2.0,
+                        [&now]() { return now; });
+  EXPECT_TRUE(budget.CheckDeadline("early").ok());
+  now = 1.9;
+  EXPECT_TRUE(budget.CheckDeadline("almost").ok());
+  now = 2.1;
+  const Status expired = budget.CheckDeadline("late");
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(BudgetTest, FailpointSeamsInjectCapHitAndExpiry) {
+  ResourceBudget budget(ResourceBudget::kUnlimitedBytes);
+  {
+    failpoint::ScopedFailpoint charge("budget/charge",
+                                      failpoint::Spec::Once());
+    EXPECT_EQ(budget.ChargeBytes(1, "x").code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_TRUE(budget.ChargeBytes(1, "x").ok());
+  }
+  {
+    failpoint::ScopedFailpoint deadline("budget/deadline",
+                                        failpoint::Spec::Once());
+    EXPECT_EQ(budget.CheckDeadline("x").code(),
+              StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(budget.CheckDeadline("x").ok());
+  }
+}
+
+// ---- Guarded builds ----
+
+Graph TestGraph() {
+  Rng rng(17);
+  return BarabasiAlbert(300, 3, &rng);
+}
+
+TEST(GuardedBuildTest, VertexBuildMatchesUnguardedAndChargesExactly) {
+  const Graph g = TestGraph();
+  const auto kc = VertexScalarField::FromCounts("KC", CoreNumbers(g));
+  ResourceBudget budget(1ull << 30);
+  const StatusOr<ScalarTree> guarded =
+      BuildVertexScalarTreeGuarded(g, kc, &budget);
+  ASSERT_TRUE(guarded.ok()) << guarded.status().ToString();
+  EXPECT_EQ(budget.charged_bytes(),
+            VertexScalarTreeBuildBytes(g.NumVertices()));
+  const ScalarTree plain = BuildVertexScalarTree(g, kc);
+  EXPECT_EQ(guarded.value().Parents(), plain.Parents());
+  EXPECT_EQ(guarded.value().Values(), plain.Values());
+  EXPECT_EQ(guarded.value().NumRoots(), plain.NumRoots());
+}
+
+TEST(GuardedBuildTest, EdgeBuildMatchesUnguardedAndChargesExactly) {
+  const Graph g = TestGraph();
+  EdgeScalarField weights(
+      "W", std::vector<double>(g.NumEdges(), 1.0));
+  ResourceBudget budget(1ull << 30);
+  const StatusOr<ScalarTree> guarded =
+      BuildEdgeScalarTreeGuarded(g, weights, &budget);
+  ASSERT_TRUE(guarded.ok()) << guarded.status().ToString();
+  EXPECT_EQ(budget.charged_bytes(),
+            EdgeScalarTreeBuildBytes(g.NumVertices(), g.NumEdges()));
+  const ScalarTree plain = BuildEdgeScalarTree(g, weights);
+  EXPECT_EQ(guarded.value().Parents(), plain.Parents());
+}
+
+TEST(GuardedBuildTest, RefusesOverBudgetAndBadArguments) {
+  const Graph g = TestGraph();
+  const auto kc = VertexScalarField::FromCounts("KC", CoreNumbers(g));
+  ResourceBudget tiny(16);
+  EXPECT_EQ(BuildVertexScalarTreeGuarded(g, kc, &tiny).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(tiny.charged_bytes(), 0u);  // refusal leaves the ledger clean
+
+  const VertexScalarField short_field("KC", {1.0, 2.0});
+  EXPECT_EQ(
+      BuildVertexScalarTreeGuarded(g, short_field, nullptr).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+// ---- The degrading render ladder ----
+
+GuardedRenderOptions SmallRender() {
+  GuardedRenderOptions options;
+  options.raster.width = 256;
+  options.raster.height = 256;
+  options.image_width = 320;
+  options.image_height = 240;
+  options.min_raster_dim = 32;
+  return options;
+}
+
+TEST(GuardedRenderTest, UnlimitedBudgetRendersFullDetail) {
+  const Graph g = TestGraph();
+  const auto kc = VertexScalarField::FromCounts("KC", CoreNumbers(g));
+  const auto result =
+      RenderVertexTerrainGuarded(g, kc, nullptr, SmallRender());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().tree_simplified);
+  EXPECT_EQ(result.value().halvings, 0u);
+  EXPECT_EQ(result.value().raster_width, 256u);
+  EXPECT_EQ(result.value().image.width, 320u);
+  EXPECT_GT(result.value().tree_nodes, 0u);
+}
+
+TEST(GuardedRenderTest, GenerousBudgetRetainsOnlyTheImage) {
+  const Graph g = TestGraph();
+  const auto kc = VertexScalarField::FromCounts("KC", CoreNumbers(g));
+  ResourceBudget budget(1ull << 30);
+  const auto result =
+      RenderVertexTerrainGuarded(g, kc, &budget, SmallRender());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().tree_simplified);
+  // Everything except the returned image went back to the budget.
+  EXPECT_EQ(budget.charged_bytes(), result.value().retained_bytes);
+  EXPECT_EQ(result.value().retained_bytes, 320ull * 240 * 3);
+}
+
+TEST(GuardedRenderTest, TightBudgetDegradesToSimplifiedHalvedRender) {
+  const Graph g = TestGraph();
+  const auto kc = VertexScalarField::FromCounts("KC", CoreNumbers(g));
+  const GuardedRenderOptions options = SmallRender();
+
+  // First learn the full tree size, then cap the budget at exactly the
+  // halved-resolution rung (full-node count is an upper bound on the
+  // simplified count, so the cap provably refuses rungs 1 and 2 — their
+  // pixel terms alone exceed it — and provably admits the halved rung).
+  const auto probe = RenderVertexTerrainGuarded(g, kc, nullptr, options);
+  ASSERT_TRUE(probe.ok());
+  const uint32_t full_nodes = probe.value().tree_nodes;
+  const uint64_t cap =
+      VertexScalarTreeBuildBytes(g.NumVertices()) +
+      TerrainRenderWorkingBytes(full_nodes, 128, 128, 160, 120);
+
+  ResourceBudget budget(cap);
+  const auto result = RenderVertexTerrainGuarded(g, kc, &budget, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().tree_simplified);
+  EXPECT_EQ(result.value().halvings, 1u);
+  EXPECT_EQ(result.value().raster_width, 128u);
+  EXPECT_EQ(result.value().image.width, 160u);
+  EXPECT_LE(result.value().tree_nodes, full_nodes);
+}
+
+TEST(GuardedRenderTest, ExhaustsTheLadderWhenNothingFits) {
+  const Graph g = TestGraph();
+  const auto kc = VertexScalarField::FromCounts("KC", CoreNumbers(g));
+  // Enough for the tree build, nowhere near any render rung.
+  ResourceBudget budget(VertexScalarTreeBuildBytes(g.NumVertices()) + 64);
+  const auto result =
+      RenderVertexTerrainGuarded(g, kc, &budget, SmallRender());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // The ladder released the build charge on the way out.
+  EXPECT_EQ(budget.charged_bytes(), 0u);
+}
+
+TEST(GuardedRenderTest, ExpiredDeadlineFailsFastBetweenRungs) {
+  const Graph g = TestGraph();
+  const auto kc = VertexScalarField::FromCounts("KC", CoreNumbers(g));
+  // Injected clock: 0.6s per Now() call. Construction reads it once, the
+  // build's deadline check passes at 0.6s elapsed, the first ladder
+  // check sees 1.2s > 1.0s and refuses.
+  double now = 0.0;
+  ResourceBudget budget(ResourceBudget::kUnlimitedBytes, 1.0, [&now]() {
+    now += 0.6;
+    return now;
+  });
+  const auto result =
+      RenderVertexTerrainGuarded(g, kc, &budget, SmallRender());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GuardedRenderTest, EdgeLadderDegradesLikeTheVertexOne) {
+  const Graph g = TestGraph();
+  EdgeScalarField weights("W", std::vector<double>(g.NumEdges(), 1.0));
+  const auto full =
+      RenderEdgeTerrainGuarded(g, weights, nullptr, SmallRender());
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_FALSE(full.value().tree_simplified);
+
+  const uint64_t cap =
+      EdgeScalarTreeBuildBytes(g.NumVertices(), g.NumEdges()) +
+      TerrainRenderWorkingBytes(full.value().tree_nodes, 128, 128, 160, 120);
+  ResourceBudget budget(cap);
+  const auto degraded =
+      RenderEdgeTerrainGuarded(g, weights, &budget, SmallRender());
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded.value().tree_simplified);
+  EXPECT_EQ(degraded.value().halvings, 1u);
+}
+
+}  // namespace
+}  // namespace graphscape

@@ -64,11 +64,17 @@ void ExpectTreesEqual(const SuperTree& a, const SuperTree& b) {
   EXPECT_EQ(a.NumRoots(), b.NumRoots());
 }
 
+std::string MustSerialize(const TreeArtifact& artifact) {
+  StatusOr<std::string> bytes = SerializeTreeArtifact(artifact);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? std::move(bytes).value() : std::string();
+}
+
 void ExpectRoundtripByteEqual(const TreeArtifact& artifact) {
-  const std::string bytes = SerializeTreeArtifact(artifact);
+  const std::string bytes = MustSerialize(artifact);
   const auto loaded = DeserializeTreeArtifact(bytes);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(SerializeTreeArtifact(loaded.value()), bytes);
+  EXPECT_EQ(MustSerialize(loaded.value()), bytes);
   ExpectTreesEqual(loaded.value().tree, artifact.tree);
   EXPECT_EQ(loaded.value().field_name, artifact.field_name);
   EXPECT_EQ(loaded.value().field_values, artifact.field_values);
@@ -91,17 +97,18 @@ TEST(TreeIoTest, FieldSectionIsOptional) {
 
 TEST(TreeIoTest, SerializeRejectsWrongLengthField) {
   // The write side enforces the one-value-per-element contract the read
-  // side validates; a short field must throw, not emit a checksummed
-  // corrupt artifact.
+  // side validates; a short field must come back as a structured Status
+  // (never an exception, never a checksummed corrupt artifact).
   TreeArtifact artifact = VertexArtifact(7);
   artifact.field_values.resize(artifact.field_values.size() / 2);
-  EXPECT_THROW(SerializeTreeArtifact(artifact), std::invalid_argument);
+  const StatusOr<std::string> result = SerializeTreeArtifact(artifact);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(TreeIoTest, LoadedTreeAnswersQueriesLikeTheOriginal) {
   const TreeArtifact artifact = VertexArtifact(9);
-  const auto loaded =
-      DeserializeTreeArtifact(SerializeTreeArtifact(artifact));
+  const auto loaded = DeserializeTreeArtifact(MustSerialize(artifact));
   ASSERT_TRUE(loaded.ok());
   const SuperTree& original = artifact.tree;
   const SuperTree& copy = loaded.value().tree;
@@ -125,13 +132,29 @@ TEST(TreeIoTest, SaveAndLoadRoundtripThroughAFile) {
   ASSERT_TRUE(SaveTreeArtifact(artifact, path).ok());
   const auto loaded = LoadTreeArtifact(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(SerializeTreeArtifact(loaded.value()),
-            SerializeTreeArtifact(artifact));
+  EXPECT_EQ(MustSerialize(loaded.value()), MustSerialize(artifact));
   std::remove(path.c_str());
 }
 
+TEST(TreeIoTest, LoadDistinguishesNotFoundFromCorruption) {
+  const std::string missing =
+      ::testing::TempDir() + "/graphscape_no_such_artifact.gsta";
+  const auto not_found = LoadTreeArtifact(missing);
+  ASSERT_FALSE(not_found.ok());
+  EXPECT_EQ(not_found.status().code(), StatusCode::kNotFound);
+
+  // A stored-then-flipped byte is data loss, not an argument error: the
+  // caller's recovery is rebuild, not retry.
+  const TreeArtifact artifact = VertexArtifact(13);
+  std::string bytes = MustSerialize(artifact);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  const auto corrupt = DeserializeTreeArtifact(bytes);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kDataLoss);
+}
+
 TEST(TreeIoTest, RejectsBadMagicAndForeignVersion) {
-  const std::string bytes = SerializeTreeArtifact(VertexArtifact(3));
+  const std::string bytes = MustSerialize(VertexArtifact(3));
   std::string bad_magic = bytes;
   bad_magic[0] = 'X';
   EXPECT_FALSE(DeserializeTreeArtifact(bad_magic).ok());
@@ -145,7 +168,7 @@ TEST(TreeIoTest, RejectsBadMagicAndForeignVersion) {
 }
 
 TEST(TreeIoTest, RejectsTruncationAndBitFlips) {
-  const std::string bytes = SerializeTreeArtifact(VertexArtifact(3));
+  const std::string bytes = MustSerialize(VertexArtifact(3));
   for (const size_t keep :
        {bytes.size() - 1, bytes.size() / 2, size_t{16}}) {
     EXPECT_FALSE(DeserializeTreeArtifact(bytes.substr(0, keep)).ok())
@@ -170,7 +193,7 @@ TEST(TreeIoTest, RejectsStructurallyInvalidTrees) {
     TreeArtifact artifact;
     artifact.tree = std::move(tree);
     const auto result =
-        DeserializeTreeArtifact(SerializeTreeArtifact(artifact));
+        DeserializeTreeArtifact(MustSerialize(artifact));
     ASSERT_FALSE(result.ok());
     EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   };

@@ -100,7 +100,9 @@ int Verify(const std::string& dir) {
       ++failures;
       continue;
     }
-    if (SerializeTreeArtifact(loaded.value()) != on_disk) {
+    const StatusOr<std::string> reserialized =
+        SerializeTreeArtifact(loaded.value());
+    if (!reserialized.ok() || reserialized.value() != on_disk) {
       std::fprintf(stderr, "FAIL %s: re-serialization differs\n",
                    path.c_str());
       ++failures;
@@ -108,7 +110,9 @@ int Verify(const std::string& dir) {
     }
     // The strongest cross-compiler pin: this leg's own build of the same
     // dataset must serialize to the other leg's bytes exactly.
-    if (SerializeTreeArtifact(named.artifact) != on_disk) {
+    const StatusOr<std::string> rebuilt =
+        SerializeTreeArtifact(named.artifact);
+    if (!rebuilt.ok() || rebuilt.value() != on_disk) {
       std::fprintf(stderr,
                    "FAIL %s: locally rebuilt tree serializes differently\n",
                    path.c_str());
