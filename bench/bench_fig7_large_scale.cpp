@@ -53,7 +53,11 @@ bool Run(ArtifactCache& cache, DatasetId id, const std::string& out) {
         const VertexScalarField kc =
             VertexScalarField::FromCounts("KC", CoreNumbers(ds.graph));
         TreeArtifact artifact;
-        artifact.tree = SuperTree(BuildVertexScalarTree(ds.graph, kc));
+        // The parallel build is byte-identical to the sequential one, so
+        // the cache's checksum verification doubles as an end-to-end
+        // determinism check across thread counts and reruns.
+        artifact.tree = SuperTree(BuildVertexScalarTreeParallel(
+            ds.graph, kc, {bench::Threads(), 0}));
         artifact.field_name = kc.Name();
         artifact.field_values = kc.Values();
         return artifact;
@@ -82,10 +86,11 @@ bool Run(ArtifactCache& cache, DatasetId id, const std::string& out) {
   timer.Restart();
   const StatusOr<TreeArtifact> truss = cache.GetOrBuild(
       ArtifactKey{dataset_key, "KT"}, [&]() -> StatusOr<TreeArtifact> {
-        const EdgeScalarField kt =
-            EdgeScalarField::FromCounts("KT", TrussNumbers(ds.graph));
+        const EdgeScalarField kt = EdgeScalarField::FromCounts(
+            "KT", TrussNumbersParallel(ds.graph, {bench::Threads(), 0}));
         TreeArtifact artifact;
-        artifact.tree = SuperTree(BuildEdgeScalarTree(ds.graph, kt));
+        artifact.tree = SuperTree(BuildEdgeScalarTreeParallel(
+            ds.graph, kt, {bench::Threads(), 0}));
         artifact.field_name = kt.Name();
         artifact.field_values = kt.Values();
         return artifact;

@@ -56,6 +56,40 @@ void BM_PageRank(benchmark::State& state) {
 }
 BENCHMARK(BM_PageRank)->Range(1 << 10, 1 << 16);
 
+// Parallel metric rows (docs/PARALLELISM.md): each /threads:N row is
+// exactly equal (integer metrics) or bit-identical (floating point) to
+// its sequential counterpart above — tests/parallel_test.cc pins that;
+// these rows record the speed side.
+void BM_TriangleCountParallel(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  const Graph g = CollabGraph(1 << 16);
+  const ParallelOptions options{threads, 0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(CountTrianglesParallel(g, options));
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_TriangleCountParallel)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_PageRankParallel(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  const Graph g = CollabGraph(1 << 16);
+  const ParallelOptions parallel{threads, 0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(PageRankParallel(g, {}, parallel));
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_PageRankParallel)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TrussNumbersParallel(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  const Graph g = CollabGraph(1 << 15);
+  const ParallelOptions options{threads, 0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(TrussNumbersParallel(g, options));
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_TrussNumbersParallel)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
 // Ablation: the dense-subgraph hierarchy ladder — core (1,2), truss (2,3),
 // nucleus (3,4) — each rung costs roughly an order of magnitude more.
 void BM_Nucleus34(benchmark::State& state) {

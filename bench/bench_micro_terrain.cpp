@@ -62,6 +62,22 @@ void BM_Rasterize(benchmark::State& state) {
 }
 BENCHMARK(BM_Rasterize)->RangeMultiplier(2)->Range(128, 1024);
 
+// Row-band parallel paint at a fixed 1024x1024 grid; the field is
+// bit-identical to the sequential row for every thread count
+// (tests/parallel_test.cc). Bands re-decode every footprint, so the
+// useful width saturates near the nesting-depth overdraw bound.
+void BM_RasterizeParallel(benchmark::State& state) {
+  const SuperTree tree = BenchTree(1 << 14);
+  const TerrainLayout layout = BuildTerrainLayout(tree);
+  RasterOptions options;
+  options.width = options.height = 1024;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(RasterizeTerrain(layout, options));
+  state.SetItemsProcessed(state.iterations() * options.width * options.width);
+}
+BENCHMARK(BM_RasterizeParallel)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
 void BM_RenderOblique(benchmark::State& state) {
   const SuperTree tree = BenchTree(1 << 14);
   const TerrainLayout layout = BuildTerrainLayout(tree);
@@ -91,6 +107,23 @@ void BM_SpringLayout(benchmark::State& state) {
                           spring.iterations);
 }
 BENCHMARK(BM_SpringLayout)->Range(1 << 12, 1 << 14);
+
+// Per-vertex force passes on all lanes (binning stays sequential);
+// positions are bit-identical to the sequential row for every width.
+void BM_SpringLayoutParallel(benchmark::State& state) {
+  CollaborationOptions options;
+  options.num_vertices = 1 << 14;
+  options.num_groups = options.num_vertices / 2;
+  Rng rng(5);
+  const Graph g = CollaborationNetwork(options, &rng);
+  SpringLayoutOptions spring;
+  spring.iterations = 20;
+  spring.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(SpringLayout(g, spring));
+  state.SetItemsProcessed(state.iterations() * g.NumVertices() *
+                          spring.iterations);
+}
+BENCHMARK(BM_SpringLayoutParallel)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
 
 void BM_RenderTopDown(benchmark::State& state) {
   const SuperTree tree = BenchTree(1 << 14);

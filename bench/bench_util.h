@@ -8,14 +8,22 @@
 #define GRAPHSCAPE_BENCH_BENCH_UTIL_H_
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
 
+#include "common/parallel.h"
+
 namespace graphscape {
 namespace bench {
+
+/// Thread count for the parallel construction paths, resolved once and
+/// uniformly for every bench: GRAPHSCAPE_THREADS if set, else hardware
+/// concurrency (common/parallel.h) — no bench parses the env on its own.
+inline uint32_t Threads() { return DefaultThreads(); }
 
 /// Artifact directory: $GRAPHSCAPE_BENCH_OUT or ./bench_artifacts.
 inline std::string OutputDir() {

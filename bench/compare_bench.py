@@ -23,6 +23,13 @@ Tracked rows:
     that report no item counter — the terrain layout construction under
     both split policies. Same regression bound, inverted.
 
+  * Scaling efficiency for the parallel construction engine
+    (docs/PARALLELISM.md): within the CURRENT run, the sequential
+    reference's real_time over its /threads:4 row. The vertex-tree row
+    gates at >= 2.5x, but ONLY when the runner reports enough cores
+    (context.num_cpus >= 4); on smaller machines all scaling rows are
+    informational. The other rows are always informational readouts.
+
   * Table II construction times, aggregated: the sum of tc over all
     KC(v) rows, the sum over all KT(e) rows, and the sum of the numeric
     te cells present in BOTH files. Aggregation keeps the gate out of
@@ -55,12 +62,47 @@ TRACKED_BENCHMARKS = [
     "BM_PersistencePairs/131072",
     "BM_Rasterize/512",
     "BM_SpringLayout/16384",
+    # Parallel construction engine (docs/PARALLELISM.md): the fixed-size
+    # sequential references and their 4-lane rows. Tracking both keeps a
+    # regression in EITHER path visible even on 1-core runners, where the
+    # /threads:4 row degrades to the sequential code path.
+    "BM_BuildVertexScalarTree",
+    "BM_BuildVertexScalarTreeParallel/threads:4",
+    "BM_BuildEdgeScalarTree",
+    "BM_BuildEdgeScalarTreeParallel/threads:4",
+    "BM_TriangleCountParallel/threads:4",
+    "BM_PageRankParallel/threads:4",
+    "BM_RasterizeParallel/threads:4",
+    "BM_SpringLayoutParallel/threads:4",
 ]
 
 # real_time rows (ns, lower is better): benches without an item counter.
 TRACKED_TIME_BENCHMARKS = [
     "BM_Layout_SliceDice/65536",
     "BM_Layout_Balanced/65536",
+]
+
+# Scaling-efficiency readout: within the CURRENT run, real_time of the
+# sequential reference divided by its /threads:N row. Rows with a
+# min_speedup GATE when the runner actually has the cores
+# (context.num_cpus >= the thread count); on smaller machines every row
+# is informational — a 1-core container cannot show parallel speedup and
+# must not fail on it. min_speedup None = always informational (e.g. the
+# edge tree only parallelizes its sort; the raster pays per-band
+# footprint re-decode).
+SCALING_CHECKS = [
+    ("BM_BuildVertexScalarTree",
+     "BM_BuildVertexScalarTreeParallel/threads:4", 4, 2.5),
+    ("BM_BuildEdgeScalarTree",
+     "BM_BuildEdgeScalarTreeParallel/threads:4", 4, None),
+    ("BM_TriangleCountParallel/threads:1",
+     "BM_TriangleCountParallel/threads:4", 4, None),
+    ("BM_PageRankParallel/threads:1",
+     "BM_PageRankParallel/threads:4", 4, None),
+    ("BM_RasterizeParallel/threads:1",
+     "BM_RasterizeParallel/threads:4", 4, None),
+    ("BM_SpringLayoutParallel/threads:1",
+     "BM_SpringLayoutParallel/threads:4", 4, None),
 ]
 
 TABLE2_ROW = re.compile(
@@ -191,6 +233,34 @@ def main():
             failures.append(
                 f"{name}: {cur_value:.3e} ns vs baseline "
                 f"{base_value:.3e} ({delta:+.1%})")
+
+    # Scaling efficiency (current run only): seq real_time / par real_time.
+    num_cpus = (current.get("context") or {}).get("num_cpus", 0)
+    for seq_name, par_name, threads, min_speedup in SCALING_CHECKS:
+        if seq_name not in cur_times or par_name not in cur_times:
+            print(f"{par_name:44s} {'-':>12s} {'-':>12s} {'-':>8s}  "
+                  f"SKIP (scaling rows missing from current run)")
+            continue
+        speedup = cur_times[seq_name] / cur_times[par_name]
+        gated = min_speedup is not None and num_cpus >= threads
+        label = f"scaling {par_name}"
+        if min_speedup is None:
+            verdict = "info"
+            ok = True
+        elif not gated:
+            verdict = f"info (num_cpus={num_cpus} < {threads})"
+            ok = True
+        else:
+            ok = speedup >= min_speedup
+            verdict = "ok" if ok else "FAIL"
+        bound = f">={min_speedup:.1f}x" if min_speedup is not None else "-"
+        print(f"{label:44s} {bound:>12s} {speedup:11.2f}x {'':>8s}  "
+              f"{verdict}")
+        if not ok:
+            failures.append(
+                f"{par_name}: {speedup:.2f}x speedup over {seq_name}, "
+                f"required >= {min_speedup:.1f}x on a "
+                f"{num_cpus}-cpu runner")
 
     # Table II aggregates: lower is better.
     for label, base_value, cur_value in table2_aggregates(

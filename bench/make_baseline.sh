@@ -19,7 +19,7 @@ output=${2:?usage: make_baseline.sh <build-dir> <output.json>}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-for bench in scalar_tree edge_tree queries terrain; do
+for bench in scalar_tree edge_tree queries terrain metrics; do
   "$build_dir/bench_micro_$bench" \
     --benchmark_min_time=0.1 \
     --benchmark_out="$tmp/BENCH_$bench.json" \
@@ -34,7 +34,8 @@ import sys
 
 tmp, output = sys.argv[1], sys.argv[2]
 merged = {"context": None, "benchmarks": [], "tables": {}}
-for name in ("scalar_tree", "edge_tree", "queries", "terrain"):
+for name in ("scalar_tree", "edge_tree", "queries", "terrain",
+             "metrics"):
     with open(f"{tmp}/BENCH_{name}.json") as f:
         data = json.load(f)
     if merged["context"] is None:

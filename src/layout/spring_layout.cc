@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace graphscape {
@@ -47,6 +48,12 @@ void RefineSpringLayout(const Graph& g, const SpringLayoutOptions& options,
   double temperature = options.initial_temperature;
   const double cooling = temperature / static_cast<double>(iterations);
 
+  // Per-vertex force/displace passes run on the pool: each writes only
+  // its own slot from the previous pass's state, so the result is
+  // bit-identical for every width (see SpringLayoutOptions). grain 0
+  // keeps the library default block size.
+  const ParallelOptions par{options.num_threads, 0};
+
   for (uint32_t iter = 0; iter < iterations; ++iter) {
     // Bin: counting sort of vertices into grid cells.
     std::fill(cell_offsets.begin(), cell_offsets.end(), 0);
@@ -65,7 +72,8 @@ void RefineSpringLayout(const Graph& g, const SpringLayoutOptions& options,
     // Repulsion: each vertex against the 3x3 cell neighborhood, cut off
     // at 2k. Degenerate coincident pairs get a deterministic id-based
     // nudge so they separate instead of dividing by zero.
-    for (VertexId v = 0; v < n; ++v) {
+    ParallelFor(0, n, par, [&](uint64_t vi) {
+      const VertexId v = static_cast<VertexId>(vi);
       disp[v] = Point2{0.0, 0.0};
       const uint32_t cx = cell_of[v] % grid;
       const uint32_t cy = cell_of[v] / grid;
@@ -96,12 +104,13 @@ void RefineSpringLayout(const Graph& g, const SpringLayoutOptions& options,
           }
         }
       }
-    }
+    });
 
     // Attraction along edges: F_a = d / k toward the neighbor. The CSR
     // stores both directions, so visiting every slot applies the
     // symmetric pull without a second pass.
-    for (VertexId v = 0; v < n; ++v) {
+    ParallelFor(0, n, par, [&](uint64_t vi) {
+      const VertexId v = static_cast<VertexId>(vi);
       for (const VertexId u : g.Neighbors(v)) {
         const double dx = pos[u].x - pos[v].x;
         const double dy = pos[u].y - pos[v].y;
@@ -111,17 +120,18 @@ void RefineSpringLayout(const Graph& g, const SpringLayoutOptions& options,
         disp[v].x += dx / d * pull;
         disp[v].y += dy / d * pull;
       }
-    }
+    });
 
     // Displace, capped by the temperature; clamp into the unit square.
-    for (VertexId v = 0; v < n; ++v) {
+    ParallelFor(0, n, par, [&](uint64_t vi) {
+      const VertexId v = static_cast<VertexId>(vi);
       const double len =
           std::sqrt(disp[v].x * disp[v].x + disp[v].y * disp[v].y);
-      if (len < 1e-12) continue;
+      if (len < 1e-12) return;
       const double step = std::min(len, temperature) / len;
       pos[v].x = ClampUnit(pos[v].x + disp[v].x * step);
       pos[v].y = ClampUnit(pos[v].y + disp[v].y * step);
-    }
+    });
     temperature = std::max(temperature - cooling, 1e-4);
   }
 }

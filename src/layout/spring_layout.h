@@ -35,6 +35,14 @@ struct SpringLayoutOptions {
   /// Starting step bound, as a fraction of the unit square; decays
   /// linearly to ~0 over the iteration budget.
   double initial_temperature = 0.1;
+  /// Lanes for the per-iteration repel/attract/displace passes (1 =
+  /// sequential, 0 = GRAPHSCAPE_THREADS / hardware). Every per-vertex
+  /// force is a pure function of the previous iteration's positions
+  /// with disjoint writes, so the layout is BIT-IDENTICAL for every
+  /// value — this is a speed knob, not a result knob. The binning pass
+  /// (a counting sort) stays sequential. Per-iteration dispatch is
+  /// allocation-free, preserving the discipline above.
+  uint32_t num_threads = 1;
 };
 
 /// Lays out `g` from a seeded random scatter. Returns one position per

@@ -49,6 +49,29 @@ double AverageClusteringCoefficient(const Graph& g) {
   return std::accumulate(cc.begin(), cc.end(), 0.0) / n;
 }
 
+std::vector<double> LocalClusteringCoefficientsParallel(
+    const Graph& g, const ParallelOptions& options) {
+  const std::vector<uint32_t> triangles =
+      VertexTriangleCountsParallel(g, options);
+  const uint32_t n = g.NumVertices();
+  std::vector<double> cc(n);
+  ParallelFor(0, n, options, [&](uint64_t v) {
+    cc[v] = Coefficient(triangles[v], g.Degree(static_cast<VertexId>(v)));
+  });
+  return cc;
+}
+
+double AverageClusteringCoefficientParallel(const Graph& g,
+                                            const ParallelOptions& options) {
+  const uint32_t n = g.NumVertices();
+  if (n == 0) return 0.0;
+  const std::vector<double> cc =
+      LocalClusteringCoefficientsParallel(g, options);
+  // Sequential fold in v order — the exact op order of the sequential
+  // average, so the two are bit-identical.
+  return std::accumulate(cc.begin(), cc.end(), 0.0) / n;
+}
+
 double SampledAverageClusteringCoefficient(const Graph& g,
                                            uint32_t num_samples, Rng* rng) {
   const uint32_t n = g.NumVertices();

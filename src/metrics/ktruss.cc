@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "common/bucket_peel.h"
+#include "common/parallel.h"
 #include "graph/edge_index.h"
 #include "graph/intersect.h"
 
@@ -22,19 +23,49 @@ std::vector<std::pair<VertexId, VertexId>> EdgeList(const Graph& g) {
   return edges;
 }
 
-std::vector<uint32_t> TrussNumbers(const Graph& g) {
-  const EdgeIndex index(g);
-  const uint32_t m = index.NumEdges();
+namespace {
 
-  // Support = triangles per edge.
-  std::vector<uint32_t> support(m, 0);
-  for (uint32_t e = 0; e < m; ++e) {
+// The peel proper, after the support-counting pass. Order-serial: each
+// peel demotes surviving edges, which decides who peels next.
+std::vector<uint32_t> PeelBySupport(const Graph& g, const EdgeIndex& index,
+                                    std::vector<uint32_t>* support_in);
+
+// Support = triangles per edge; one independent sorted-run intersection
+// per edge, so the parallel variant reuses this body verbatim.
+std::vector<uint32_t> CountSupport(const Graph& g, const EdgeIndex& index,
+                                   const ParallelOptions& options) {
+  std::vector<uint32_t> support(index.NumEdges(), 0);
+  ParallelFor(0, support.size(), options, [&](uint64_t e) {
     uint32_t s = 0;
-    ForEachCommonNeighbor(g, index.U(e), index.V(e),
+    ForEachCommonNeighbor(g, index.U(static_cast<uint32_t>(e)),
+                          index.V(static_cast<uint32_t>(e)),
                           [&s](VertexId) { ++s; });
     support[e] = s;
-  }
+  });
+  return support;
+}
 
+}  // namespace
+
+std::vector<uint32_t> TrussNumbers(const Graph& g) {
+  const EdgeIndex index(g);
+  std::vector<uint32_t> support = CountSupport(g, index, {1, 0});
+  return PeelBySupport(g, index, &support);
+}
+
+std::vector<uint32_t> TrussNumbersParallel(const Graph& g,
+                                           const ParallelOptions& options) {
+  const EdgeIndex index(g);
+  std::vector<uint32_t> support = CountSupport(g, index, options);
+  return PeelBySupport(g, index, &support);
+}
+
+namespace {
+
+std::vector<uint32_t> PeelBySupport(const Graph& g, const EdgeIndex& index,
+                                    std::vector<uint32_t>* support_in) {
+  std::vector<uint32_t>& support = *support_in;
+  const uint32_t m = index.NumEdges();
   BucketPeeler peeler(&support);
   std::vector<char> peeled(m, 0);
   std::vector<uint32_t> truss(m, 2);
@@ -57,5 +88,7 @@ std::vector<uint32_t> TrussNumbers(const Graph& g) {
   }
   return truss;
 }
+
+}  // namespace
 
 }  // namespace graphscape

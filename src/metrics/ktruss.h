@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 
 namespace graphscape {
@@ -27,6 +28,13 @@ std::vector<std::pair<VertexId, VertexId>> EdgeList(const Graph& g);
 
 /// truss[e] for every edge in EdgeList order; values are >= 2.
 std::vector<uint32_t> TrussNumbers(const Graph& g);
+
+/// TrussNumbers with the support-counting pass (the dominant cost — one
+/// sorted-run intersection per edge, disjoint writes) on the pool; the
+/// bucket peel itself is inherently order-serial and stays sequential.
+/// EQUAL output to TrussNumbers for every thread count.
+std::vector<uint32_t> TrussNumbersParallel(const Graph& g,
+                                           const ParallelOptions& options = {});
 
 }  // namespace graphscape
 

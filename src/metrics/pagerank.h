@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 
 namespace graphscape {
@@ -24,6 +25,18 @@ struct PageRankOptions {
 
 std::vector<double> PageRank(const Graph& g,
                              const PageRankOptions& options = {});
+
+/// PageRank with the per-iteration gather parallelized — BIT-IDENTICAL
+/// to PageRank for every thread count. The sequential kernel pushes
+/// `damping * rank[v] / deg(v)` from each v in ascending order, so
+/// next[u] accumulates its neighbors' shares in ascending neighbor
+/// order; the pull form computes next[u] by iterating u's (sorted) CSR
+/// run — the exact same additions in the exact same order, with u's
+/// independent of each other. The dangling-mass and L1-delta folds stay
+/// sequential (O(n), and a tree reduction would reorder them).
+std::vector<double> PageRankParallel(const Graph& g,
+                                     const PageRankOptions& options = {},
+                                     const ParallelOptions& parallel = {});
 
 }  // namespace graphscape
 

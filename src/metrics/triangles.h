@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 
 namespace graphscape {
@@ -20,6 +21,21 @@ uint64_t CountTriangles(const Graph& g);
 
 /// Per-vertex triangle participation counts.
 std::vector<uint32_t> VertexTriangleCounts(const Graph& g);
+
+/// CountTriangles over the pool: pivot vertices are enumerated in
+/// parallel blocks whose integer partials are summed in fixed block
+/// order — EQUAL to CountTriangles for every thread count (integer
+/// addition has no rounding to reorder).
+uint64_t CountTrianglesParallel(const Graph& g,
+                                const ParallelOptions& options = {});
+
+/// VertexTriangleCounts over the pool: each lane accumulates into its
+/// own n-sized count arena (a triangle's three increments land wherever
+/// the pivot's lane is), then the arenas are reduced per vertex in fixed
+/// lane order. EQUAL to VertexTriangleCounts for every thread count.
+/// Memory: lanes x n uint32 scratch.
+std::vector<uint32_t> VertexTriangleCountsParallel(
+    const Graph& g, const ParallelOptions& options = {});
 
 }  // namespace graphscape
 

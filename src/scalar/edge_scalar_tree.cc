@@ -16,14 +16,12 @@ namespace graphscape {
 
 namespace {
 
-// The Algorithm 3 sweep proper, over edge endpoints in EdgeList order.
-ScalarTree SweepEdges(uint32_t n, uint32_t m, const VertexId* eu,
-                      const VertexId* ev,
-                      const std::vector<double>& values) {
-  // The single sort: edges by (value desc, id asc) — superlevel sweep.
-  std::vector<uint32_t> order, rank;
-  tree_core::SortSweepOrder(values, &order, &rank);
-
+// The Algorithm 3 sweep proper, over edge endpoints in EdgeList order,
+// given a precomputed sweep order (adopted into the returned tree).
+ScalarTree SweepEdgesInOrder(uint32_t n, uint32_t m, const VertexId* eu,
+                             const VertexId* ev,
+                             const std::vector<double>& values,
+                             std::vector<uint32_t> order) {
   // Union-find over the ORIGINAL graph's vertices — this is what makes
   // the dual graph unnecessary. head[r] is the latest-swept edge in the
   // vertex component rooted at r, or kInvalidVertex while the component
@@ -68,27 +66,44 @@ ScalarTree SweepEdges(uint32_t n, uint32_t m, const VertexId* eu,
                     std::move(order), num_roots);
 }
 
+// Sort-then-sweep wrapper shared by the EdgeIndex overload.
+ScalarTree SweepEdges(uint32_t n, uint32_t m, const VertexId* eu,
+                      const VertexId* ev,
+                      const std::vector<double>& values) {
+  // The single sort: edges by (value desc, id asc) — superlevel sweep.
+  std::vector<uint32_t> order, rank;
+  tree_core::SortSweepOrder(values, &order, &rank);
+  return SweepEdgesInOrder(n, m, eu, ev, values, std::move(order));
+}
+
 }  // namespace
 
 ScalarTree BuildEdgeScalarTree(const Graph& g,
                                const EdgeScalarField& field) {
   // The sweep only needs endpoints per edge id, never the CSR twin
-  // mapping — one linear pass beats constructing a full EdgeIndex.
+  // mapping — the graph already stores them in EdgeList order.
   const uint32_t m = static_cast<uint32_t>(g.NumEdges());
   assert(field.Size() == m);
-  std::vector<VertexId> eu(m), ev(m);
-  uint32_t next = 0;
-  for (VertexId u = 0; u < g.NumVertices(); ++u) {
-    for (const VertexId v : g.Neighbors(u)) {
-      if (u < v) {
-        eu[next] = u;
-        ev[next] = v;
-        ++next;
-      }
-    }
-  }
-  return SweepEdges(g.NumVertices(), m, eu.data(), ev.data(),
-                    field.Values());
+  return SweepEdges(g.NumVertices(), m, g.EdgeSources().data(),
+                    g.EdgeTargets().data(), field.Values());
+}
+
+ScalarTree BuildEdgeScalarTreeParallel(const Graph& g,
+                                       const EdgeScalarField& field,
+                                       const ParallelOptions& options) {
+  const uint32_t m = static_cast<uint32_t>(g.NumEdges());
+  assert(field.Size() == m);
+  const uint32_t lanes =
+      options.num_threads == 0 ? DefaultThreads() : options.num_threads;
+  // Exact sequential fallback: same code path, not a 1-lane simulation.
+  if (lanes <= 1) return BuildEdgeScalarTree(g, field);
+  // Parallel sort, sequential sweep (see the header for why the edge
+  // sweep cannot be chunked); identical order array => identical tree.
+  std::vector<uint32_t> order, rank;
+  tree_core::ParallelSortSweepOrder(field.Values(), &order, &rank, options);
+  return SweepEdgesInOrder(g.NumVertices(), m, g.EdgeSources().data(),
+                           g.EdgeTargets().data(), field.Values(),
+                           std::move(order));
 }
 
 ScalarTree BuildEdgeScalarTree(const Graph& g, const EdgeIndex& index,
@@ -102,8 +117,9 @@ ScalarTree BuildEdgeScalarTree(const Graph& g, const EdgeIndex& index,
 uint64_t EdgeScalarTreeBuildBytes(uint32_t num_vertices,
                                   uint64_t num_edges) {
   // Per vertex: uf + comp_size + head (u32 each). Per edge: order +
-  // rank + parents + eu + ev (u32 each) plus the values copy (f64).
-  return static_cast<uint64_t>(num_vertices) * 12 + num_edges * (5 * 4 + 8);
+  // rank + parents (u32 each; endpoints come straight from the graph)
+  // plus the values copy (f64).
+  return static_cast<uint64_t>(num_vertices) * 12 + num_edges * (3 * 4 + 8);
 }
 
 StatusOr<ScalarTree> BuildEdgeScalarTreeGuarded(const Graph& g,

@@ -68,6 +68,17 @@ ScalarTree BuildEdgeScalarTree(const Graph& g, const EdgeScalarField& field);
 ScalarTree BuildEdgeScalarTree(const Graph& g, const EdgeIndex& index,
                                const EdgeScalarField& field);
 
+/// Parallel Algorithm 3: the (value desc, id asc) sort and the rank
+/// setup run on the pool; byte-identical to BuildEdgeScalarTree for
+/// every thread count. The sweep itself stays sequential BY DESIGN: its
+/// same-component case is a plateau CHAIN (parent[head] = e; head = e),
+/// not a no-op, so the prune-and-replay filter that parallelizes the
+/// vertex sweep is unsound here — a chunk-local sweep cannot know the
+/// global head an edge must chain under. See docs/PARALLELISM.md.
+ScalarTree BuildEdgeScalarTreeParallel(const Graph& g,
+                                       const EdgeScalarField& field,
+                                       const ParallelOptions& options = {});
+
 /// Working-set bytes BuildEdgeScalarTree allocates for n vertices and m
 /// edges — what the guarded build charges before running.
 uint64_t EdgeScalarTreeBuildBytes(uint32_t num_vertices, uint64_t num_edges);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/parallel.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "scalar/scalar_field.h"
@@ -77,6 +78,22 @@ class ScalarTree {
 /// Algorithm 1. Requires field.Size() == g.NumVertices().
 ScalarTree BuildVertexScalarTree(const Graph& g,
                                  const VertexScalarField& field);
+
+/// Parallel Algorithm 1: byte-identical output to BuildVertexScalarTree
+/// for EVERY thread count (pinned by tests/parallel_test.cc; determinism
+/// argument in docs/PARALLELISM.md). Three phases: a parallel
+/// (value desc, id asc) sort — unique result, the comparator is a total
+/// order — then chunk-local union-find sweeps over rank-partitioned
+/// chunks that drop provably redundant intra-chunk edges, then a
+/// sequential boundary replay of the kept edges in sweep order, which
+/// performs the exact merge sequence of the sequential build.
+/// options.num_threads == 1 (or an effective width of 1) calls
+/// BuildVertexScalarTree directly; options.grain overrides the minimum
+/// sweep-chunk length (default 4096 — tests shrink it to force
+/// adversarial chunk boundaries).
+ScalarTree BuildVertexScalarTreeParallel(const Graph& g,
+                                         const VertexScalarField& field,
+                                         const ParallelOptions& options = {});
 
 /// Working-set bytes BuildVertexScalarTree allocates for an n-vertex
 /// graph (order/rank, union-find state, parents, the values copy) — the

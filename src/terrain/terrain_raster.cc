@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace graphscape {
 
 HeightField RasterizeTerrain(const TerrainLayout& layout,
@@ -24,28 +26,47 @@ HeightField RasterizeTerrain(const TerrainLayout& layout,
 
   const double sx = static_cast<double>(field.width);
   const double sy = static_cast<double>(field.height);
-  for (const uint32_t node : layout.paint_order) {
-    const LandRect& rect = layout.rects[node];
-    // A pixel belongs to the footprint when its CENTER is inside; ceil on
-    // the low edge / exclusive high edge keeps adjacent spans disjoint.
-    const uint32_t px0 = static_cast<uint32_t>(std::max(
-        std::ceil(rect.x0 * sx - 0.5), 0.0));
-    const uint32_t py0 = static_cast<uint32_t>(std::max(
-        std::ceil(rect.y0 * sy - 0.5), 0.0));
-    const uint32_t px1 = static_cast<uint32_t>(std::min(
-        std::ceil(rect.x1 * sx - 0.5), static_cast<double>(field.width)));
-    const uint32_t py1 = static_cast<uint32_t>(std::min(
-        std::ceil(rect.y1 * sy - 0.5), static_cast<double>(field.height)));
-    const double value = layout.values[node];
-    for (uint32_t y = py0; y < py1; ++y) {
-      double* hrow = field.height_at.data() +
-                     static_cast<size_t>(y) * field.width;
-      uint32_t* nrow = field.node_at.data() +
+  // Paint by row band: every band replays the full paint order clipped
+  // to its rows [band_y0, band_y1), so bands write disjoint pixels and
+  // each pixel's last writer is the same node as in a sequential paint —
+  // the output is bit-identical for every band count / thread count.
+  // The only cost of more bands is re-decoding each footprint per band.
+  const uint32_t lanes = EffectiveLanes(
+      {options.num_threads, /*grain=*/1}, field.height);
+  const uint32_t bands = lanes == 0 ? 1 : lanes;
+  ParallelForBlocks(bands, {options.num_threads, 1}, [&](uint64_t band,
+                                                         uint32_t) {
+    const uint32_t band_y0 =
+        static_cast<uint32_t>(field.height * band / bands);
+    const uint32_t band_y1 =
+        static_cast<uint32_t>(field.height * (band + 1) / bands);
+    for (const uint32_t node : layout.paint_order) {
+      const LandRect& rect = layout.rects[node];
+      // A pixel belongs to the footprint when its CENTER is inside; ceil
+      // on the low edge / exclusive high edge keeps adjacent spans
+      // disjoint.
+      const uint32_t px0 = static_cast<uint32_t>(std::max(
+          std::ceil(rect.x0 * sx - 0.5), 0.0));
+      const uint32_t py0 = std::max(
+          static_cast<uint32_t>(std::max(std::ceil(rect.y0 * sy - 0.5), 0.0)),
+          band_y0);
+      const uint32_t px1 = static_cast<uint32_t>(std::min(
+          std::ceil(rect.x1 * sx - 0.5), static_cast<double>(field.width)));
+      const uint32_t py1 = std::min(
+          static_cast<uint32_t>(std::min(std::ceil(rect.y1 * sy - 0.5),
+                                         static_cast<double>(field.height))),
+          band_y1);
+      const double value = layout.values[node];
+      for (uint32_t y = py0; y < py1; ++y) {
+        double* hrow = field.height_at.data() +
                        static_cast<size_t>(y) * field.width;
-      std::fill(hrow + px0, hrow + px1, value);
-      std::fill(nrow + px0, nrow + px1, node);
+        uint32_t* nrow = field.node_at.data() +
+                         static_cast<size_t>(y) * field.width;
+        std::fill(hrow + px0, hrow + px1, value);
+        std::fill(nrow + px0, nrow + px1, node);
+      }
     }
-  }
+  });
   return field;
 }
 

@@ -32,6 +32,12 @@ namespace graphscape {
 struct RasterOptions {
   uint32_t width = 512;
   uint32_t height = 512;
+  /// Lanes for the paint loop (1 = sequential, 0 = GRAPHSCAPE_THREADS /
+  /// hardware). Parallelism is by row band: each band walks the full
+  /// paint order clipping footprints to its rows, so every pixel sees
+  /// the same last writer as the sequential painter — the field is
+  /// BIT-IDENTICAL for every value. A speed knob, not a result knob.
+  uint32_t num_threads = 1;
 };
 
 struct HeightField {

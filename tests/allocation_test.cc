@@ -69,6 +69,48 @@ TEST(AllocationDisciplineTest, BuildAllocationCountIsConstantInGraphSize) {
   EXPECT_LE(large, 24u);
 }
 
+uint64_t AllocationsDuringParallelBuild(uint32_t n, uint32_t threads) {
+  Rng rng(42);
+  const Graph g = BarabasiAlbert(n, 4, &rng);
+  Rng field_rng(7);
+  std::vector<double> values(g.NumVertices());
+  for (auto& v : values) v = field_rng.UniformDouble();
+  const VertexScalarField field("f", values);
+
+  // grain 64 pins the chunk count at the lane ceiling for both sizes
+  // (n / 64 >> 4 lanes), so the two runs allocate the same NUMBER of
+  // per-chunk scratch arrays and differ only in array lengths.
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const ScalarTree tree =
+      BuildVertexScalarTreeParallel(g, field, {threads, /*grain=*/64});
+  const SuperTree super(tree);
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_GT(super.NumNodes(), 0u);
+  return after - before;
+}
+
+TEST(AllocationDisciplineTest,
+     ParallelBuildAllocationCountIsConstantInGraphSize) {
+  // Warm-up: spawn the pool's worker threads outside the counted window
+  // (thread creation allocates; it happens once per process, not per
+  // build). The parallel build then follows the same discipline as the
+  // sequential one — the per-chunk scratch (local union-find, kept-edge
+  // streams, sort runs) is a fixed NUMBER of arrays per chunk, and the
+  // chunk count depends only on the thread count, never on n. The sweep
+  // and merge loops themselves never allocate.
+  // Both sizes sit above the parallel-sort threshold so the two runs
+  // take the identical code path end to end.
+  (void)AllocationsDuringParallelBuild(1 << 13, 4);
+  const uint64_t small = AllocationsDuringParallelBuild(1 << 13, 4);
+  const uint64_t large = AllocationsDuringParallelBuild(1 << 16, 4);
+  EXPECT_EQ(small, large)
+      << "allocation count scales with graph size - something allocates "
+         "inside the chunked parallel sweep";
+  // The sequential build's arrays + the sort aux buffer + per-chunk
+  // scratch (3 arrays x <=4 chunks) + the packed kept-edge streams.
+  EXPECT_LE(large, 48u);
+}
+
 uint64_t AllocationsDuringEdgeBuild(uint32_t n) {
   Rng rng(42);
   const Graph g = BarabasiAlbert(n, 4, &rng);
