@@ -42,7 +42,8 @@ int main() {
   // adjacent pair, so any cross edges should be A-B.
   const ComponentLabeling comps = ConnectedComponents(graph);
   std::map<std::string, uint32_t> cross;
-  for (const auto& [u, v] : graph.Edges()) {
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const auto [u, v] = graph.EdgeEndpoints(e);
     if (table.Label(u) != table.Label(v)) {
       std::string key = table.Label(u) < table.Label(v)
                             ? table.Label(u) + "-" + table.Label(v)
@@ -56,8 +57,8 @@ int main() {
     std::printf(" %s:%u", pair.c_str(), count);
   std::printf("\n(ii) genusC (blue) touches no other genus: %s; any contact "
               "is A-B (red within green's reach): %s\n",
-              !cross.contains("genusA-genusC") &&
-                      !cross.contains("genusB-genusC")
+              cross.count("genusA-genusC") == 0 &&
+                      cross.count("genusB-genusC") == 0
                   ? "HOLDS"
                   : "VIOLATED",
               cross.size() == cross.count("genusA-genusB") ? "HOLDS"

@@ -27,6 +27,8 @@ for bench in scalar_tree edge_tree queries terrain metrics; do
 done
 "$build_dir/bench_table1_datasets" > "$tmp/table1.txt"
 "$build_dir/bench_table2_construction" > "$tmp/table2.txt"
+GRAPHSCAPE_BENCH_OUT="$tmp/fig_artifacts" \
+  "$build_dir/bench_table456_userstudy" > "$tmp/table456.txt"
 
 python3 - "$tmp" "$output" <<'EOF'
 import json
@@ -42,7 +44,8 @@ for name in ("scalar_tree", "edge_tree", "queries", "terrain",
         merged["context"] = data.get("context")
     merged["benchmarks"].extend(data.get("benchmarks", []))
 for table, path in (("table1_datasets", f"{tmp}/table1.txt"),
-                    ("table2_construction", f"{tmp}/table2.txt")):
+                    ("table2_construction", f"{tmp}/table2.txt"),
+                    ("table456_userstudy", f"{tmp}/table456.txt")):
     with open(path) as f:
         merged["tables"][table] = [l for l in f.read().split("\n") if l]
 with open(output, "w") as f:

@@ -1,0 +1,30 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The role vocabulary alone, dependency-free: gen/generators.h plants
+// these labels and community/roles.h recovers them, and neither side
+// should drag the other's include graph along for an enum.
+
+#ifndef GRAPHSCAPE_COMMUNITY_VERTEX_ROLE_H_
+#define GRAPHSCAPE_COMMUNITY_VERTEX_ROLE_H_
+
+#include <cstdint>
+
+namespace graphscape {
+
+/// The paper's Fig. 9 vocabulary. Values are the color-table indices the
+/// figure benches vote with, so the order is load-bearing.
+enum class VertexRole : uint8_t {
+  kHub = 0,        ///< green summit: connects most of the community
+  kDense = 1,      ///< blue band: the near-clique body
+  kPeriphery = 2,  ///< red slope: loosely attached members
+  kWhisker = 3,    ///< yellow fringe: tree-like appendages
+  kBackground = 4  ///< not in the community under study
+};
+
+/// Row label for tables ("hub", "dense", ...).
+const char* RoleName(VertexRole role);
+
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_COMMUNITY_VERTEX_ROLE_H_

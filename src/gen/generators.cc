@@ -140,4 +140,201 @@ Graph CollaborationNetwork(const CollaborationOptions& options, Rng* rng) {
   return builder.Build();
 }
 
+namespace {
+
+/// `count` strictly descending draws in (lo, hi), highest first. Sorting
+/// the raw draws keeps the band guarantees while the descending order is
+/// what makes every superlevel prefix of a sub-cluster connected through
+/// the link-to-an-earlier-vertex backbone below.
+std::vector<double> DescendingScores(uint32_t count, double lo, double hi,
+                                     Rng* rng) {
+  std::vector<double> scores(count);
+  for (auto& s : scores) s = lo + (hi - lo) * rng->UniformDouble();
+  std::sort(scores.begin(), scores.end(), std::greater<double>());
+  return scores;
+}
+
+}  // namespace
+
+CommunityGraphResult OverlappingCommunities(
+    const OverlappingCommunityOptions& options, Rng* rng) {
+  const uint32_t k = std::max(1u, options.num_communities);
+  const uint32_t s = std::max(4u, options.vertices_per_community);
+  const uint32_t subclusters = std::max(1u, options.subclusters);
+  const uint32_t n = k * s;
+
+  CommunityGraphResult result;
+  result.scores.assign(k, std::vector<double>(n, 0.0));
+  result.primary_community.assign(n, 0);
+  result.subcluster.assign(n, kInvalidVertex);
+
+  GraphBuilder builder(n);
+  // Per community: subcluster membership in contiguous blocks, scores
+  // strictly descending inside each sub-cluster (core band first, then
+  // the mid band opening just below the bridge level).
+  const uint32_t sub_size = s / subclusters;
+  for (uint32_t c = 0; c < k; ++c) {
+    const uint32_t base = c * s;
+    std::vector<uint32_t> first_mid(subclusters, kInvalidVertex);
+    for (uint32_t j = 0; j < subclusters; ++j) {
+      const uint32_t sub_begin = base + j * sub_size;
+      const uint32_t sub_end = j + 1 == subclusters ? base + s
+                                                    : sub_begin + sub_size;
+      const uint32_t size = sub_end - sub_begin;
+      const uint32_t core =
+          std::min(size, std::max(2u, static_cast<uint32_t>(
+                                          size * options.core_fraction)));
+      const std::vector<double> core_scores =
+          DescendingScores(core, kCommunityCoreScore, 1.0, rng);
+      // The mid band starts at the bridge level and decays toward the
+      // community's low-score fringe.
+      std::vector<double> mid_scores =
+          DescendingScores(size - core, 0.3, kCommunityBridgeScore - 0.05,
+                           rng);
+      if (!mid_scores.empty()) mid_scores[0] = kCommunityBridgeScore;
+
+      for (uint32_t i = 0; i < size; ++i) {
+        const VertexId v = sub_begin + i;
+        result.primary_community[v] = c;
+        if (i < core) result.subcluster[v] = j;
+        result.scores[c][v] =
+            i < core ? core_scores[i] : mid_scores[i - core];
+        // Backbone: every vertex links to a strictly higher-score vertex
+        // of its own sub-cluster, so every superlevel prefix is
+        // connected — exactly one peak per sub-cluster at any level.
+        if (i > 0) builder.AddEdge(v, sub_begin + rng->UniformInt(i));
+      }
+      if (size > core) first_mid[j] = sub_begin + core;
+
+      // Dense core wiring (the peak's near-clique body).
+      for (uint32_t a = 0; a < core; ++a)
+        for (uint32_t b = a + 1; b < core; ++b)
+          if (rng->UniformDouble() < options.core_probability)
+            builder.AddEdge(sub_begin + a, sub_begin + b);
+
+      // Extra mid-band links inside the community (same or other
+      // sub-cluster — all below the core level, so core peaks stay
+      // disconnected).
+      for (uint32_t i = core; i < size; ++i) {
+        for (uint32_t l = 0; l < options.mid_links_per_vertex; ++l) {
+          const VertexId w = base + rng->UniformInt(s);
+          if (result.subcluster[w] == kInvalidVertex)
+            builder.AddEdge(sub_begin + i, w);
+        }
+      }
+    }
+    // Bridges: consecutive sub-clusters meet at their highest mid-band
+    // vertices (score == kCommunityBridgeScore), merging the community
+    // into one peak below the core level.
+    for (uint32_t j = 0; j + 1 < subclusters; ++j) {
+      if (first_mid[j] != kInvalidVertex && first_mid[j + 1] != kInvalidVertex)
+        builder.AddEdge(first_mid[j], first_mid[j + 1]);
+    }
+  }
+
+  // Overlap members: the low-score tail of each community also
+  // affiliates (below 0.5) with the next community and links into its
+  // mid band — communities touch only through sub-threshold vertices.
+  const uint32_t overlap = static_cast<uint32_t>(s * options.overlap_fraction);
+  for (uint32_t c = 0; c < k && k > 1; ++c) {
+    const uint32_t partner = (c + 1) % k;
+    for (uint32_t i = 0; i < overlap; ++i) {
+      const VertexId v = c * s + (s - 1 - i);
+      result.scores[partner][v] = 0.2 + 0.2 * rng->UniformDouble();
+      for (uint32_t l = 0; l < 2; ++l) {
+        const VertexId w = partner * s + rng->UniformInt(s);
+        if (result.subcluster[w] == kInvalidVertex) builder.AddEdge(v, w);
+      }
+    }
+  }
+
+  result.graph = builder.Build();
+  return result;
+}
+
+RoleCommunityResult RoleCommunityGraph(const RoleCommunityOptions& options,
+                                       Rng* rng) {
+  const uint32_t hubs = options.num_hubs;
+  const uint32_t dense = options.num_dense;
+  const uint32_t periphery = options.num_periphery;
+  const uint32_t whiskers = options.num_whiskers;
+  const uint32_t community = hubs + dense + periphery + whiskers;
+  const uint32_t n = community + options.num_background;
+  const uint32_t dense_begin = hubs;
+  const uint32_t periphery_begin = hubs + dense;
+  const uint32_t whisker_begin = hubs + dense + periphery;
+
+  RoleCommunityResult result;
+  result.roles.assign(n, VertexRole::kBackground);
+  result.community_score.assign(n, 0.0);
+  result.community_vertices.resize(community);
+  for (uint32_t v = 0; v < community; ++v) result.community_vertices[v] = v;
+
+  GraphBuilder builder(n);
+
+  // Hubs: wired to each other and to most of the dense band plus a
+  // slice of the periphery (never to whiskers — whiskers must stay on
+  // the core-1 fringe).
+  for (uint32_t h = 0; h < hubs; ++h) {
+    result.roles[h] = VertexRole::kHub;
+    result.community_score[h] = 0.9 + 0.1 * rng->UniformDouble();
+    for (uint32_t h2 = h + 1; h2 < hubs; ++h2) builder.AddEdge(h, h2);
+    for (uint32_t d = dense_begin; d < periphery_begin; ++d)
+      if (rng->UniformDouble() < options.hub_coverage) builder.AddEdge(h, d);
+    for (uint32_t p = periphery_begin; p < whisker_begin; ++p)
+      if (rng->UniformDouble() < options.hub_coverage * 0.5)
+        builder.AddEdge(h, p);
+  }
+
+  // Dense band: a near-clique.
+  for (uint32_t a = dense_begin; a < periphery_begin; ++a) {
+    result.roles[a] = VertexRole::kDense;
+    result.community_score[a] = 0.6 + 0.25 * rng->UniformDouble();
+    for (uint32_t b = a + 1; b < periphery_begin; ++b)
+      if (rng->UniformDouble() < options.dense_probability)
+        builder.AddEdge(a, b);
+  }
+
+  // Periphery: a few links into the dense band each.
+  for (uint32_t p = periphery_begin; p < whisker_begin; ++p) {
+    result.roles[p] = VertexRole::kPeriphery;
+    result.community_score[p] = 0.3 + 0.25 * rng->UniformDouble();
+    for (uint32_t l = 0; l < std::max(1u, options.periphery_links); ++l)
+      builder.AddEdge(p, dense_begin + rng->UniformInt(std::max(1u, dense)));
+  }
+
+  // Whiskers: length-1/2 chains hanging off the community body — every
+  // whisker vertex sits in the 1-core fringe.
+  VertexId chain_tail = kInvalidVertex;
+  for (uint32_t w = whisker_begin; w < community; ++w) {
+    result.roles[w] = VertexRole::kWhisker;
+    result.community_score[w] = 0.08 + 0.17 * rng->UniformDouble();
+    if (chain_tail != kInvalidVertex && rng->UniformDouble() < 0.4) {
+      builder.AddEdge(w, chain_tail);  // extend the previous chain
+      chain_tail = kInvalidVertex;
+    } else {
+      const uint32_t body = periphery > 0 ? periphery : dense;
+      const uint32_t body_begin = periphery > 0 ? periphery_begin
+                                                : dense_begin;
+      builder.AddEdge(w, body_begin + rng->UniformInt(std::max(1u, body)));
+      chain_tail = w;
+    }
+  }
+
+  // Background: a sparse random-recursive-tree style fringe (each vertex
+  // links to two earlier ones), loosely touching the periphery.
+  for (uint32_t b = community; b < n; ++b) {
+    result.community_score[b] = 0.05 * rng->UniformDouble();
+    if (b == community) continue;
+    const uint32_t span = b - community;
+    builder.AddEdge(b, community + rng->UniformInt(span));
+    builder.AddEdge(b, community + rng->UniformInt(span));
+    if (periphery > 0 && rng->UniformDouble() < 0.05)
+      builder.AddEdge(b, periphery_begin + rng->UniformInt(periphery));
+  }
+
+  result.graph = builder.Build();
+  return result;
+}
+
 }  // namespace graphscape

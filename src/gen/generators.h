@@ -9,8 +9,10 @@
 #define GRAPHSCAPE_GEN_GENERATORS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
+#include "community/vertex_role.h"
 #include "graph/graph.h"
 
 namespace graphscape {
@@ -40,6 +42,97 @@ struct CollaborationOptions {
 };
 
 Graph CollaborationNetwork(const CollaborationOptions& options, Rng* rng);
+
+/// The DBLP-like network behind Fig. 1(b)/Fig. 8: `num_communities`
+/// planted overlapping communities, each split into `subclusters` dense
+/// sub-cores (the paper's US-vs-China twin research groups). Every
+/// community carries a continuous affiliation score in [0, 1] per vertex
+/// — the stand-in for ref [14]'s (BigCLAM) output — and the graph is
+/// wired so the score's scalar tree has the figure's structure BY
+/// CONSTRUCTION:
+///
+///  * inside one sub-core, every vertex links to a strictly higher-score
+///    vertex of the same sub-core, so every superlevel set of a sub-core
+///    is connected — exactly one peak per sub-core at core level (>=
+///    kCommunityCoreScore);
+///  * sub-cores of one community are bridged only through mid-band
+///    vertices (score in [kCommunityBridgeScore, kCommunityCoreScore)),
+///    so the community merges into ONE peak below the core level but
+///    shows `subclusters` disconnected core peaks above it;
+///  * communities touch each other only through low-score overlap
+///    members (score < 0.5 in both), so the max-score field shows
+///    exactly `num_communities` major peaks at level 0.5.
+struct OverlappingCommunityOptions {
+  uint32_t num_communities = 4;
+  uint32_t vertices_per_community = 300;
+  /// Dense sub-cores per community (the twin-peak count of Fig. 8).
+  uint32_t subclusters = 2;
+  /// Fraction of a community's members inside its sub-cores.
+  double core_fraction = 0.25;
+  /// Edge probability inside one sub-core.
+  double core_probability = 0.3;
+  /// Extra random mid-band edges per mid-band vertex.
+  uint32_t mid_links_per_vertex = 2;
+  /// Fraction of members that also affiliate with the next community.
+  double overlap_fraction = 0.1;
+};
+
+/// Score band boundaries the generator guarantees (and the figure
+/// benches read levels against): core members score in
+/// [kCommunityCoreScore, 1], bridge vertices at kCommunityBridgeScore,
+/// overlap affiliations stay below 0.5.
+inline constexpr double kCommunityCoreScore = 0.8;
+inline constexpr double kCommunityBridgeScore = 0.7;
+
+struct CommunityGraphResult {
+  Graph graph;
+  /// scores[c][v] in [0, 1]: community c's affiliation strength at v
+  /// (0 outside the community, < 0.5 for overlap-only members).
+  std::vector<std::vector<double>> scores;
+  /// Planted primary community per vertex — the oracle labels the
+  /// community tests score BigCLAM recovery against.
+  std::vector<uint32_t> primary_community;
+  /// Planted sub-core id per vertex within its primary community, or
+  /// kInvalidVertex for mid-band members.
+  std::vector<uint32_t> subcluster;
+};
+
+CommunityGraphResult OverlappingCommunities(
+    const OverlappingCommunityOptions& options, Rng* rng);
+
+/// The Amazon-like community behind Fig. 9 / Table III: one community
+/// with planted roles — hubs wired to most members, a near-clique dense
+/// band, loosely attached periphery, degree-1/2 whisker chains — embedded
+/// in a sparse preferential-attachment background. `community_score` is
+/// the terrain height: hubs highest, then dense, periphery, whiskers,
+/// background near zero, so the paper's layering claim is checkable.
+struct RoleCommunityOptions {
+  uint32_t num_hubs = 2;
+  uint32_t num_dense = 40;
+  uint32_t num_periphery = 80;
+  uint32_t num_whiskers = 30;
+  /// Background vertices outside the community.
+  uint32_t num_background = 400;
+  /// Edge probability inside the dense band.
+  double dense_probability = 0.5;
+  /// Fraction of non-hub community members each hub links to.
+  double hub_coverage = 0.7;
+  /// Edges from each periphery vertex into the dense band / hubs.
+  uint32_t periphery_links = 2;
+};
+
+struct RoleCommunityResult {
+  Graph graph;
+  /// The community under study (hubs, dense band, periphery, whiskers).
+  std::vector<VertexId> community_vertices;
+  /// Planted role per vertex (kBackground outside the community).
+  std::vector<VertexRole> roles;
+  /// Community-affiliation score per vertex, one value per graph vertex.
+  std::vector<double> community_score;
+};
+
+RoleCommunityResult RoleCommunityGraph(const RoleCommunityOptions& options,
+                                       Rng* rng);
 
 }  // namespace graphscape
 

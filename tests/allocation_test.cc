@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "community/bigclam.h"
 #include "gen/generators.h"
 #include "layout/spring_layout.h"
 #include "scalar/edge_scalar_tree.h"
@@ -35,8 +36,19 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc();
 }
 
+// libstdc++'s std::get_temporary_buffer (stable_sort) allocates through
+// the nothrow variant; override it too so every new/delete pair stays on
+// malloc/free (ASan flags a mixed pair as alloc-dealloc-mismatch).
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace graphscape {
 namespace {
@@ -194,6 +206,32 @@ TEST(AllocationDisciplineTest, SpringIterationLoopDoesNotAllocate) {
       << "allocation count scales with iterations - something allocates "
          "inside the spring iteration loop";
   EXPECT_LE(many, 12u);
+}
+
+uint64_t AllocationsDuringBigClamFit(uint32_t iterations) {
+  Rng rng(42);
+  const Graph g = BarabasiAlbert(1 << 10, 4, &rng);
+  BigClamOptions options;
+  options.num_communities = 4;
+  options.iterations = iterations;
+  options.num_threads = 1;  // inline dispatch: no pool in the window
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const BigClamAffiliations fit = BigClamFit(g, options);
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_GT(fit.num_vertices, 0u);
+  return after - before;
+}
+
+TEST(AllocationDisciplineTest, BigClamIterationLoopDoesNotAllocate) {
+  // The projected-gradient loop ping-pongs between two pre-sized factor
+  // matrices; the BFS seeding scratch is allocated once up front. More
+  // iterations must not mean more allocations.
+  const uint64_t few = AllocationsDuringBigClamFit(2);
+  const uint64_t many = AllocationsDuringBigClamFit(80);
+  EXPECT_EQ(few, many)
+      << "allocation count scales with iterations - something allocates "
+         "inside the BigCLAM gradient loop";
+  EXPECT_LE(many, 24u);
 }
 
 uint64_t AllocationsDuringRasterize(uint32_t resolution) {
