@@ -74,12 +74,18 @@ TRACKED_BENCHMARKS = [
     "BM_PageRankParallel/threads:4",
     "BM_RasterizeParallel/threads:4",
     "BM_SpringLayoutParallel/threads:4",
+    # Query service (docs/SERVICE.md): mixed-workload throughput over the
+    # loopback wire protocol, from bench_service_qps's BENCH_service.json.
+    "SVC_MixedQps",
 ]
 
 # real_time rows (ns, lower is better): benches without an item counter.
 TRACKED_TIME_BENCHMARKS = [
     "BM_Layout_SliceDice/65536",
     "BM_Layout_Balanced/65536",
+    # Service request latency percentiles (ns) under the mixed workload.
+    "SVC_MixedP50",
+    "SVC_MixedP99",
 ]
 
 # Scaling-efficiency readout: within the CURRENT run, real_time of the

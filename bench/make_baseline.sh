@@ -16,6 +16,7 @@ set -euo pipefail
 
 build_dir=${1:?usage: make_baseline.sh <build-dir> <output.json>}
 output=${2:?usage: make_baseline.sh <build-dir> <output.json>}
+build_dir=$(cd "$build_dir" && pwd)  # bench_service_qps runs from $tmp
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -29,6 +30,9 @@ done
 "$build_dir/bench_table2_construction" > "$tmp/table2.txt"
 GRAPHSCAPE_BENCH_OUT="$tmp/fig_artifacts" \
   "$build_dir/bench_table456_userstudy" > "$tmp/table456.txt"
+# Service throughput rows (SVC_*); writes BENCH_service.json into cwd.
+(cd "$tmp" && GRAPHSCAPE_BENCH_OUT="$tmp/fig_artifacts" \
+  "$build_dir/bench_service_qps" > "$tmp/service_qps.txt")
 
 python3 - "$tmp" "$output" <<'EOF'
 import json
@@ -37,7 +41,7 @@ import sys
 tmp, output = sys.argv[1], sys.argv[2]
 merged = {"context": None, "benchmarks": [], "tables": {}}
 for name in ("scalar_tree", "edge_tree", "queries", "terrain",
-             "metrics"):
+             "metrics", "service"):
     with open(f"{tmp}/BENCH_{name}.json") as f:
         data = json.load(f)
     if merged["context"] is None:

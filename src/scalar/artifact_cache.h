@@ -2,9 +2,10 @@
 // Licensed under the Apache License, Version 2.0.
 //
 // Crash-safe on-disk cache of TreeArtifacts, keyed by dataset × field —
-// the storage engine the Graphscape query service (ROADMAP item 3) will
-// mmap. Trees are the expensive part of every query, figure, and
-// terrain render; this cache makes them build-once, survive-anything.
+// the storage engine under the Graphscape query daemon
+// (service/service.h) and the large-scale figure benches. Trees are the
+// expensive part of every query, figure, and terrain render; this cache
+// makes them build-once, survive-anything.
 //
 // On-disk layout under the cache root:
 //
@@ -15,8 +16,8 @@
 //   entries/<enc-key>.gsta      exactly SerializeTreeArtifact's bytes —
 //                               byte-identical to a clean serialization,
 //                               so CI can `cmp` recovered caches against
-//                               fresh ones, and the future daemon can
-//                               map them read-only with zero translation.
+//                               fresh ones, and the daemon's TREE verb
+//                               can serve them with zero translation.
 //   quarantine/<enc-key>.N.gsta corrupt bytes, moved aside (never
 //                               deleted) for postmortems.
 //   *.tmp                       in-flight atomic writes; any that
@@ -40,8 +41,13 @@
 //   * Transient I/O (kUnavailable, incl. injected faults) is retried
 //     with backoff per Options::retry before any of the above.
 //
-// Not yet thread-safe: one process, one writer — the daemon PR adds the
-// locking protocol.
+// Thread-safety: NONE — the cache assumes one process, and every method
+// (including Get, which mutates stats and may quarantine) requires
+// external synchronization when shared across threads. The query daemon
+// is the worked example: QueryService routes every cache touch through
+// one load mutex, then shares the immutable loaded artifacts lock-free
+// (docs/SERVICE.md §Concurrency). Multi-process coordination is out of
+// scope; run one daemon per cache root.
 
 #ifndef GRAPHSCAPE_SCALAR_ARTIFACT_CACHE_H_
 #define GRAPHSCAPE_SCALAR_ARTIFACT_CACHE_H_

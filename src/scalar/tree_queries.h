@@ -21,6 +21,22 @@
 // above the level whose parent is below it — is one connected component
 // of the superlevel set: a "peak" in the paper's terrain metaphor, with
 // its summit at the subtree's maximum value.
+//
+// Thread-safety: a built TreeMemberIndex is immutable — every accessor
+// is const over flat arrays frozen in the constructor, so any number of
+// threads may query one index (and one tree) concurrently. What is NOT
+// thread-safe is the lazy build: the first SuperTree::MemberIndex()
+// call mutates the cache, so prime it single-threaded before sharing
+// (the query daemon does this under its load mutex — see
+// service/service.cc and docs/SERVICE.md §Concurrency).
+//
+// Allocation: construction is the only allocating step — a handful of
+// exactly-sized flat vectors, O(elements) total. The accessors below
+// (Members, SubtreeMembers, Children, the counts and summit lookups)
+// allocate nothing; they return pointer ranges into the index's own
+// arrays, valid as long as the index lives. Of the free functions, only
+// the output vector of PeaksAtLevel/TopPeaks allocates;
+// CountComponentsAtLevel is allocation-free.
 
 #ifndef GRAPHSCAPE_SCALAR_TREE_QUERIES_H_
 #define GRAPHSCAPE_SCALAR_TREE_QUERIES_H_

@@ -1,0 +1,116 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace graphscape {
+namespace service {
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::Unavailable(StrPrintf("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+Status BlockingClient::Connect(const std::string& host, uint16_t port,
+                               double io_timeout_seconds) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return ErrnoStatus("socket");
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument(
+        StrPrintf("not a numeric IPv4 address: %s", host.c_str()));
+  }
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = ErrnoStatus("connect");
+    Close();
+    return status;
+  }
+  if (io_timeout_seconds > 0.0) {
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(io_timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (io_timeout_seconds - std::floor(io_timeout_seconds)) * 1e6);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  return Status::Ok();
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status BlockingClient::ReadExactly(size_t n, std::string* out) {
+  out->clear();
+  out->reserve(n);
+  char chunk[4096];
+  while (out->size() < n) {
+    const size_t want = n - out->size();
+    const ssize_t got =
+        ::recv(fd_, chunk, want < sizeof(chunk) ? want : sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got < 0) return ErrnoStatus("recv");
+    if (got == 0) {
+      return Status::Unavailable(StrPrintf(
+          "connection closed mid-frame (%u of %u bytes)",
+          static_cast<unsigned>(out->size()), static_cast<unsigned>(n)));
+    }
+    out->append(chunk, static_cast<size_t>(got));
+  }
+  return Status::Ok();
+}
+
+StatusOr<ResponseFrame> BlockingClient::Roundtrip(const std::string& line) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  std::string request = line;
+  request += '\n';
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd_, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return ErrnoStatus("send");
+    sent += static_cast<size_t>(n);
+  }
+
+  // Streaming decode: fixed header first (it carries payload_len), then
+  // exactly payload + trailer, then full-frame validation — the client
+  // never trusts a length beyond wire.h's sanity cap.
+  std::string header_bytes;
+  Status status = ReadExactly(kResponseHeaderBytes, &header_bytes);
+  if (!status.ok()) return status;
+  StatusOr<ResponseHeader> header = ParseResponseHeader(header_bytes);
+  if (!header.ok()) return header.status();
+  std::string rest;
+  status = ReadExactly(
+      static_cast<size_t>(header.value().payload_len) + 8, &rest);
+  if (!status.ok()) return status;
+  return DecodeResponseFrame(header_bytes + rest);
+}
+
+}  // namespace service
+}  // namespace graphscape

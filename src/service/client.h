@@ -1,0 +1,69 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// BlockingClient: the minimal correct consumer of the wire protocol —
+// one connection, one in-flight request, strict read-exactly framing.
+// The load generator, the service bench, and the loopback integration
+// test all speak through this class, so protocol handling lives in
+// exactly one place on the client side too.
+//
+// Error taxonomy on the caller's side of Roundtrip():
+//   * status not ok        -> TRANSPORT/FRAMING failure (socket died,
+//     bad magic, checksum mismatch, oversized payload). The connection
+//     is poisoned; Close and reconnect. graphscape_load counts these as
+//     "wire errors" — the class that must be zero in CI.
+//   * status ok, frame.wire_code != kWireOk -> the SERVER answered with
+//     a structured error (NOT_FOUND, INVALID_ARGUMENT, ...). The
+//     connection is fine and the next request may proceed; these are
+//     "server errors", expected under fault injection.
+//
+// Thread safety: none — one BlockingClient per thread (it is a single
+// socket with request/response state). That is the sharing model every
+// call site uses.
+
+#ifndef GRAPHSCAPE_SERVICE_CLIENT_H_
+#define GRAPHSCAPE_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "service/wire.h"
+
+namespace graphscape {
+namespace service {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { Close(); }
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects to host:port (numeric IPv4 only — the daemon is loopback;
+  /// "127.0.0.1" is what every call site passes). Unavailable with
+  /// errno text on failure. Reconnecting an open client closes first.
+  Status Connect(const std::string& host, uint16_t port,
+                 double io_timeout_seconds = 30.0);
+
+  /// Sends one request line (the '\n' is appended here) and reads one
+  /// complete response frame: header, payload, checksum trailer. Any
+  /// transport or framing failure poisons the connection (see the
+  /// header comment); the server's own errors come back as an OK status
+  /// with frame.wire_code != kWireOk.
+  StatusOr<ResponseFrame> Roundtrip(const std::string& line);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Status ReadExactly(size_t n, std::string* out);
+
+  int fd_ = -1;
+};
+
+}  // namespace service
+}  // namespace graphscape
+
+#endif  // GRAPHSCAPE_SERVICE_CLIENT_H_

@@ -27,6 +27,9 @@ struct Rung {
   uint32_t divisor;
 };
 
+// make_simplified may be null (the tree-only entry point: without the
+// Graph there is no persistence rung); the ladder then degrades by
+// resolution halving alone.
 StatusOr<GuardedRenderResult> RenderLadder(
     const SuperTree& full_tree,
     const std::function<SuperTree()>& make_simplified,
@@ -35,12 +38,14 @@ StatusOr<GuardedRenderResult> RenderLadder(
   SuperTree simplified_tree;
   bool have_simplified = false;
 
-  std::vector<Rung> rungs = {{false, 1}, {true, 1}};
+  const bool can_simplify = static_cast<bool>(make_simplified);
+  std::vector<Rung> rungs = {{false, 1}};
+  if (can_simplify) rungs.push_back({true, 1});
   for (uint32_t divisor = 2;
        options.raster.width / divisor >= options.min_raster_dim &&
        options.raster.height / divisor >= options.min_raster_dim;
        divisor *= 2) {
-    rungs.push_back({true, divisor});
+    rungs.push_back({can_simplify, divisor});
   }
 
   for (const Rung& rung : rungs) {
@@ -92,8 +97,8 @@ StatusOr<GuardedRenderResult> RenderLadder(
   }
   ReleaseBudget(budget, build_charge);
   return Status::ResourceExhausted(
-      "terrain render: no ladder rung fits the budget (tried full tree, "
-      "simplified tree, and resolution halving to the minimum)");
+      "terrain render: no ladder rung fits the budget (tried every "
+      "degradation down to the minimum raster dimension)");
 }
 
 }  // namespace
@@ -148,6 +153,17 @@ StatusOr<GuardedRenderResult> RenderEdgeTerrainGuarded(
   };
   return RenderLadder(full_tree, make_simplified, build_charge, budget,
                       options);
+}
+
+StatusOr<GuardedRenderResult> RenderTreeTerrainGuarded(
+    const SuperTree& tree, ResourceBudget* budget,
+    const GuardedRenderOptions& options) {
+  // No Graph in hand, so no persistence rung: SimplifyByPersistence
+  // needs the original field over the graph, and a cached TreeArtifact
+  // deliberately does not carry the graph (docs/ARTIFACT_FORMAT.md).
+  // The ladder degrades by resolution halving only, and there is no
+  // build charge — the tree already exists and is owned by the caller.
+  return RenderLadder(tree, nullptr, /*build_charge=*/0, budget, options);
 }
 
 }  // namespace graphscape

@@ -32,6 +32,7 @@
 #include "graph/graph.h"
 #include "scalar/edge_scalar_tree.h"
 #include "scalar/scalar_field.h"
+#include "scalar/super_tree.h"
 #include "terrain/render.h"
 #include "terrain/terrain_layout.h"
 #include "terrain/terrain_raster.h"
@@ -82,13 +83,37 @@ uint64_t TerrainRenderWorkingBytes(uint32_t tree_nodes,
 /// when even the cheapest rung refuses; DeadlineExceeded between rungs.
 /// The rung-2 rebuild reuses the standing tree-build charge (the
 /// original sweep's arrays are dropped before it runs).
+///
+/// Thread safety: safe to call concurrently with distinct budgets (or a
+/// shared ResourceBudget, which is internally synchronized). Reads the
+/// graph and field without synchronization, so callers must not mutate
+/// them during the call. Allocation: everything transient is freed on
+/// return; only the returned image (result.retained_bytes) stays
+/// charged to the budget.
 StatusOr<GuardedRenderResult> RenderVertexTerrainGuarded(
     const Graph& g, const VertexScalarField& field, ResourceBudget* budget,
     const GuardedRenderOptions& options = {});
 
-/// Edge-field twin (guarded Algorithm 3 + the same ladder).
+/// Edge-field twin (guarded Algorithm 3 + the same ladder). Same
+/// thread-safety and allocation contract as the vertex entry point.
 StatusOr<GuardedRenderResult> RenderEdgeTerrainGuarded(
     const Graph& g, const EdgeScalarField& field, ResourceBudget* budget,
+    const GuardedRenderOptions& options = {});
+
+/// Tree-only entry point for callers that already hold a built SuperTree
+/// (the query service's TILE verb renders cached TreeArtifacts this
+/// way). Without the Graph there is no persistence rung — the ladder is
+/// the full tree at full resolution, then resolution halving down to
+/// min_raster_dim; simplify_persistence_fraction is ignored. No build
+/// charge is taken: the tree is the caller's standing allocation.
+///
+/// Thread safety: concurrent calls over the SAME tree are safe only if
+/// tree.MemberIndex() has already been built (it is lazily constructed
+/// and not internally synchronized — see scalar/super_tree.h). The
+/// query service primes it at artifact-load time for exactly this
+/// reason.
+StatusOr<GuardedRenderResult> RenderTreeTerrainGuarded(
+    const SuperTree& tree, ResourceBudget* budget,
     const GuardedRenderOptions& options = {});
 
 }  // namespace graphscape

@@ -230,15 +230,26 @@ Image RenderTopDown(const HeightField& field,
   return image;
 }
 
+std::string EncodePpm(const Image& image) {
+  static_assert(sizeof(Rgb) == 3, "Rgb must be packed for PPM output");
+  char header[64];
+  const int header_len = std::snprintf(header, sizeof(header),
+                                       "P6\n%u %u\n255\n", image.width,
+                                       image.height);
+  std::string out;
+  out.reserve(static_cast<size_t>(header_len) + image.pixels.size() * 3);
+  out.append(header, static_cast<size_t>(header_len));
+  out.append(reinterpret_cast<const char*>(image.pixels.data()),
+             image.pixels.size() * 3);
+  return out;
+}
+
 bool WritePpm(const Image& image, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;
-  std::fprintf(f, "P6\n%u %u\n255\n", image.width, image.height);
-  static_assert(sizeof(Rgb) == 3, "Rgb must be packed for PPM output");
-  const size_t count = image.pixels.size();
-  const size_t written =
-      std::fwrite(image.pixels.data(), sizeof(Rgb), count, f);
-  const bool ok = written == count;
+  const std::string bytes = EncodePpm(image);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = written == bytes.size();
   return std::fclose(f) == 0 && ok;
 }
 

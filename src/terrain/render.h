@@ -84,6 +84,11 @@ Image RenderOblique(const HeightField& field,
 Image RenderTopDown(const HeightField& field,
                     const std::vector<Rgb>& node_colors);
 
+/// Binary PPM (P6) as an in-memory byte string — the TILE verb of the
+/// query service ships exactly these bytes as its payload, so the
+/// encoding must stay deterministic for a given image.
+std::string EncodePpm(const Image& image);
+
 /// Binary PPM (P6). Returns false on I/O failure.
 bool WritePpm(const Image& image, const std::string& path);
 

@@ -1,0 +1,151 @@
+// Copyright 2026 The GraphScape Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// graphscape_serve: the Graphscape query daemon. Serves the wire
+// protocol of docs/SERVICE.md over 127.0.0.1 from an ArtifactCache
+// directory — the one cache_fsck and the figure benches populate.
+//
+//   graphscape_serve --cache=DIR [--port=N] [--threads=N]
+//                    [--tile-cache-mb=N] [--budget-mb=N]
+//                    [--deadline-s=F] [--port-file=PATH]
+//
+// --cache defaults to $GRAPHSCAPE_CACHE_DIR. --port=0 (the default)
+// binds an ephemeral port; the chosen port is printed on stdout and,
+// with --port-file, written there too so scripts can wait for readiness
+// by polling the file (the CI service-smoke job does exactly this).
+// --threads=0 means DefaultThreads() (GRAPHSCAPE_THREADS, else
+// hardware_concurrency). SIGINT/SIGTERM stop accepting, drain, and exit
+// 0. Flag reference with operational context: docs/OPERATIONS.md.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "common/status.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+// --name=value string flag; true when `arg` matched `name`.
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --cache=DIR [--port=N] [--threads=N] [--tile-cache-mb=N]\n"
+      "          [--budget-mb=N] [--deadline-s=F] [--port-file=PATH]\n"
+      "Serves the Graphscape query protocol (docs/SERVICE.md) from the\n"
+      "artifact cache at DIR ($GRAPHSCAPE_CACHE_DIR if --cache is "
+      "omitted).\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using graphscape::Status;
+  using graphscape::StatusOr;
+  namespace service = graphscape::service;
+
+  std::string cache_dir;
+  if (const char* env = std::getenv("GRAPHSCAPE_CACHE_DIR")) cache_dir = env;
+  std::string port_file;
+  long port = 0;
+  long threads = 0;
+  long tile_cache_mb = 64;
+  long budget_mb = 256;
+  double deadline_s = 10.0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--cache", &value)) {
+      cache_dir = value;
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      port = std::strtol(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      threads = std::strtol(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--tile-cache-mb", &value)) {
+      tile_cache_mb = std::strtol(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--budget-mb", &value)) {
+      budget_mb = std::strtol(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--deadline-s", &value)) {
+      deadline_s = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--port-file", &value)) {
+      port_file = value;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (cache_dir.empty() || port < 0 || port > 65535 || threads < 0 ||
+      tile_cache_mb <= 0 || budget_mb <= 0) {
+    return Usage(argv[0]);
+  }
+
+  service::QueryService::Options service_options;
+  service_options.tile_cache_bytes =
+      static_cast<uint64_t>(tile_cache_mb) << 20;
+  service_options.request_budget_bytes =
+      static_cast<uint64_t>(budget_mb) << 20;
+  service_options.request_deadline_seconds = deadline_s;
+  StatusOr<std::unique_ptr<service::QueryService>> opened =
+      service::QueryService::Open(cache_dir, service_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "graphscape_serve: cannot open cache %s: %s\n",
+                 cache_dir.c_str(), opened.status().message().c_str());
+    return 1;
+  }
+  std::unique_ptr<service::QueryService> query_service =
+      std::move(opened).value();
+
+  service::ServiceServer::Options server_options;
+  server_options.port = static_cast<uint16_t>(port);
+  server_options.num_threads = static_cast<uint32_t>(threads);
+  service::ServiceServer server(query_service.get(), server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "graphscape_serve: %s\n",
+                 started.message().c_str());
+    return 1;
+  }
+
+  std::printf("graphscape_serve: cache=%s port=%u threads=%u\n",
+              cache_dir.c_str(), server.port(), server.num_threads());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    // Written after Start(), so a script that sees the file can connect
+    // immediately — the port inside is already listening.
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "graphscape_serve: cannot write %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("graphscape_serve: stopping\n");
+  server.Stop();
+  return 0;
+}
