@@ -30,6 +30,13 @@ Tracked rows:
     (context.num_cpus >= 4); on smaller machines all scaling rows are
     informational. The other rows are always informational readouts.
 
+  * Kernel speedups for the sorted-run intersection layer (docs/SIMD.md):
+    within the CURRENT run, the scalar merge's real_time over the
+    dispatched SIMD row (gates >= 2x on balanced 4096-element runs) and
+    over the galloping row (gates >= 5x at 1:1024 skew). Both sides come
+    from the same bench_micro_intersect process, so the comparison is
+    machine-independent.
+
   * Table II construction times, aggregated: the sum of tc over all
     KC(v) rows, the sum over all KT(e) rows, and the sum of the numeric
     te cells present in BOTH files. Aggregation keeps the gate out of
@@ -77,6 +84,15 @@ TRACKED_BENCHMARKS = [
     # Query service (docs/SERVICE.md): mixed-workload throughput over the
     # loopback wire protocol, from bench_service_qps's BENCH_service.json.
     "SVC_MixedQps",
+    # Sorted-run intersection layer (docs/SIMD.md): the dispatched kernel
+    # on balanced 4096-element runs, the galloping path at 1:1024 skew,
+    # and the triangle-adjacent end-to-end rows they feed.
+    "BM_IntersectCount_Simd/4096",
+    "BM_IntersectSkew_Gallop/ratio:1024",
+    "BM_IntersectCount3/1024",
+    "BM_CountTriangles_Simd",
+    "BM_TrussSupport_Simd",
+    "BM_TriangleCount/65536",
 ]
 
 # real_time rows (ns, lower is better): benches without an item counter.
@@ -109,6 +125,18 @@ SCALING_CHECKS = [
      "BM_RasterizeParallel/threads:4", 4, None),
     ("BM_SpringLayoutParallel/threads:1",
      "BM_SpringLayoutParallel/threads:4", 4, None),
+]
+
+# Kernel-vs-scalar readout (docs/SIMD.md): within the CURRENT run, the
+# scalar row's real_time over the dispatched/galloping row's, from
+# bench_micro_intersect's forced-kernel pairs. Unlike SCALING_CHECKS
+# these gate unconditionally — vectorization and exponential search need
+# no extra cores. Rows missing from the run (e.g. a -DGRAPHSCAPE_SIMD=OFF
+# build whose bench was filtered out) are skipped, not failed.
+KERNEL_CHECKS = [
+    ("BM_IntersectCount_Scalar/4096", "BM_IntersectCount_Simd/4096", 2.0),
+    ("BM_IntersectSkew_Scalar/ratio:1024",
+     "BM_IntersectSkew_Gallop/ratio:1024", 5.0),
 ]
 
 TABLE2_ROW = re.compile(
@@ -267,6 +295,25 @@ def main():
                 f"{par_name}: {speedup:.2f}x speedup over {seq_name}, "
                 f"required >= {min_speedup:.1f}x on a "
                 f"{num_cpus}-cpu runner")
+
+    # Kernel speedups (current run only): scalar real_time / kernel
+    # real_time on the same inputs in the same process.
+    for slow_name, fast_name, min_speedup in KERNEL_CHECKS:
+        if slow_name not in cur_times or fast_name not in cur_times:
+            print(f"{fast_name:44s} {'-':>12s} {'-':>12s} {'-':>8s}  "
+                  f"SKIP (kernel rows missing from current run)")
+            continue
+        speedup = cur_times[slow_name] / cur_times[fast_name]
+        ok = speedup >= min_speedup
+        verdict = "ok" if ok else "FAIL"
+        label = f"kernel {fast_name}"
+        bound = f">={min_speedup:.1f}x"
+        print(f"{label:44s} {bound:>12s} {speedup:11.2f}x {'':>8s}  "
+              f"{verdict}")
+        if not ok:
+            failures.append(
+                f"{fast_name}: {speedup:.2f}x speedup over {slow_name}, "
+                f"required >= {min_speedup:.1f}x")
 
     # Table II aggregates: lower is better.
     for label, base_value, cur_value in table2_aggregates(

@@ -20,7 +20,7 @@ build_dir=$(cd "$build_dir" && pwd)  # bench_service_qps runs from $tmp
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-for bench in scalar_tree edge_tree queries terrain metrics; do
+for bench in scalar_tree edge_tree queries terrain metrics intersect; do
   "$build_dir/bench_micro_$bench" \
     --benchmark_min_time=0.1 \
     --benchmark_out="$tmp/BENCH_$bench.json" \
@@ -41,7 +41,7 @@ import sys
 tmp, output = sys.argv[1], sys.argv[2]
 merged = {"context": None, "benchmarks": [], "tables": {}}
 for name in ("scalar_tree", "edge_tree", "queries", "terrain",
-             "metrics", "service"):
+             "metrics", "intersect", "service"):
     with open(f"{tmp}/BENCH_{name}.json") as f:
         data = json.load(f)
     if merged["context"] is None:

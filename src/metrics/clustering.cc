@@ -20,12 +20,13 @@ double Coefficient(uint64_t triangles, uint64_t degree) {
 }
 
 // Exact triangle count through one vertex: every triangle {v, u, w}
-// contributes w to the common-neighbor merge of two sorted CSR runs, and
-// is seen twice (once from each of v's two incident edges in it).
+// contributes w to the common-neighbor intersection of two sorted CSR
+// runs, and is seen twice (once from each of v's two incident edges in
+// it). Count-only, so it rides the SIMD/galloping kernels.
 uint64_t TrianglesThrough(const Graph& g, VertexId v) {
   uint64_t twice = 0;
   for (const VertexId u : g.Neighbors(v)) {
-    ForEachCommonNeighbor(g, v, u, [&twice](VertexId) { ++twice; });
+    twice += CountCommonNeighbors(g, v, u);
   }
   return twice / 2;
 }

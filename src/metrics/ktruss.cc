@@ -30,17 +30,15 @@ namespace {
 std::vector<uint32_t> PeelBySupport(const Graph& g, const EdgeIndex& index,
                                     std::vector<uint32_t>* support_in);
 
-// Support = triangles per edge; one independent sorted-run intersection
-// per edge, so the parallel variant reuses this body verbatim.
+// Support = triangles per edge; one independent count-only sorted-run
+// intersection per edge (SIMD/galloping, no callback), so the parallel
+// variant reuses this body verbatim.
 std::vector<uint32_t> CountSupport(const Graph& g, const EdgeIndex& index,
                                    const ParallelOptions& options) {
   std::vector<uint32_t> support(index.NumEdges(), 0);
   ParallelFor(0, support.size(), options, [&](uint64_t e) {
-    uint32_t s = 0;
-    ForEachCommonNeighbor(g, index.U(static_cast<uint32_t>(e)),
-                          index.V(static_cast<uint32_t>(e)),
-                          [&s](VertexId) { ++s; });
-    support[e] = s;
+    support[e] = CountCommonNeighbors(g, index.U(static_cast<uint32_t>(e)),
+                                      index.V(static_cast<uint32_t>(e)));
   });
   return support;
 }

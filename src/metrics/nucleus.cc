@@ -48,15 +48,13 @@ NucleusDecomposition Nucleus34(const Graph& g) {
     }
   }
 
-  // Support = 4-cliques per triangle.
+  // Support = 4-cliques per triangle: a count-only 3-way intersection,
+  // so the tally skips the per-element callback entirely.
   const uint32_t t = static_cast<uint32_t>(result.triangles.size());
   std::vector<uint32_t> support(t, 0);
   for (uint32_t i = 0; i < t; ++i) {
     const auto& tri = result.triangles[i];
-    uint32_t s = 0;
-    ForEachCommonNeighbor(g, tri[0], tri[1], tri[2],
-                          [&s](VertexId) { ++s; });
-    support[i] = s;
+    support[i] = CountCommonNeighbors(g, tri[0], tri[1], tri[2]);
   }
 
   BucketPeeler peeler(&support);

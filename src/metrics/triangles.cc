@@ -14,28 +14,77 @@ inline bool Before(const std::vector<uint32_t>& deg, VertexId a, VertexId b) {
   return deg[a] < deg[b] || (deg[a] == deg[b] && a < b);
 }
 
-// All triangles whose degree-least (pivot) vertex is u. The parallel
-// variants partition work by pivot: every triangle fires exactly once,
-// in the block containing its pivot.
-template <typename OnTriangle>
-void TrianglesFromPivot(const Graph& g, const std::vector<uint32_t>& deg,
-                        VertexId u, OnTriangle&& on_triangle) {
-  for (const VertexId v : g.Neighbors(u)) {
-    if (!Before(deg, u, v)) continue;
-    // Keep only w "after" v so each triangle fires once, from its
-    // degree-least vertex u.
-    ForEachCommonNeighbor(g, u, v, [&](VertexId w) {
-      if (Before(deg, v, w)) on_triangle(u, v, w);
-    });
+// The degree-oriented DAG in CSR form: fwd run of u = neighbors v with u
+// Before v, still sorted ascending by id (filtering a sorted CSR run
+// keeps its order). Every triangle {u, v, w} has exactly one source —
+// its degree-least vertex — and appears exactly once as w ∈ fwd(u) ∩
+// fwd(v) for v ∈ fwd(u). The runs being sorted and duplicate-free is
+// what lets the intersections go through the SIMD/galloping kernels
+// (graph/intersect_simd.h).
+struct ForwardAdjacency {
+  std::vector<uint32_t> offsets;  // n + 1
+  std::vector<VertexId> targets;  // m
+  uint32_t max_out_degree = 0;    // scratch sizing for Into() callers
+
+  const VertexId* Run(VertexId u) const { return targets.data() + offsets[u]; }
+  uint32_t RunLength(VertexId u) const {
+    return offsets[u + 1] - offsets[u];
   }
+};
+
+ForwardAdjacency BuildForward(const Graph& g,
+                              const std::vector<uint32_t>& deg) {
+  const uint32_t n = g.NumVertices();
+  ForwardAdjacency fwd;
+  fwd.offsets.assign(n + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    uint32_t out = 0;
+    for (const VertexId v : g.Neighbors(u)) {
+      if (Before(deg, u, v)) ++out;
+    }
+    fwd.offsets[u + 1] = fwd.offsets[u] + out;
+    fwd.max_out_degree = std::max(fwd.max_out_degree, out);
+  }
+  fwd.targets.resize(fwd.offsets[n]);
+  for (VertexId u = 0; u < n; ++u) {
+    uint32_t next = fwd.offsets[u];
+    for (const VertexId v : g.Neighbors(u)) {
+      if (Before(deg, u, v)) fwd.targets[next++] = v;
+    }
+  }
+  return fwd;
 }
 
-template <typename OnTriangle>
-void ForEachTriangle(const Graph& g, OnTriangle&& on_triangle) {
-  const uint32_t n = g.NumVertices();
-  std::vector<uint32_t> deg(n);
-  for (uint32_t v = 0; v < n; ++v) deg[v] = g.Degree(v);
-  for (VertexId u = 0; u < n; ++u) TrianglesFromPivot(g, deg, u, on_triangle);
+// Count-only per-pivot tally: triangles sourced at u. The parallel
+// variants partition work by pivot; integer partial sums are
+// partition-invariant, so thread count can never show through.
+inline uint64_t TrianglesFromPivot(const ForwardAdjacency& fwd, VertexId u) {
+  uint64_t count = 0;
+  const VertexId* run = fwd.Run(u);
+  const uint32_t len = fwd.RunLength(u);
+  for (uint32_t k = 0; k < len; ++k) {
+    const VertexId v = run[k];
+    count += intersect::Count(run, len, fwd.Run(v), fwd.RunLength(v));
+  }
+  return count;
+}
+
+// Per-vertex tally from pivot u: each common neighbor w of (u, v ∈
+// fwd(u)) closes one triangle touching u, v, and w. Needs the elements,
+// so it goes through intersect::Into into the caller's reused scratch
+// run (sized fwd.max_out_degree — never reallocated in the loop).
+inline void VertexTrianglesFromPivot(const ForwardAdjacency& fwd, VertexId u,
+                                     VertexId* scratch, uint32_t* counts) {
+  const VertexId* run = fwd.Run(u);
+  const uint32_t len = fwd.RunLength(u);
+  for (uint32_t k = 0; k < len; ++k) {
+    const VertexId v = run[k];
+    const uint32_t hits =
+        intersect::Into(run, len, fwd.Run(v), fwd.RunLength(v), scratch);
+    counts[u] += hits;
+    counts[v] += hits;
+    for (uint32_t h = 0; h < hits; ++h) ++counts[scratch[h]];
+  }
 }
 
 std::vector<uint32_t> Degrees(const Graph& g, const ParallelOptions& options) {
@@ -48,18 +97,25 @@ std::vector<uint32_t> Degrees(const Graph& g, const ParallelOptions& options) {
 }  // namespace
 
 uint64_t CountTriangles(const Graph& g) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> deg(n);
+  for (uint32_t v = 0; v < n; ++v) deg[v] = g.Degree(v);
+  const ForwardAdjacency fwd = BuildForward(g, deg);
   uint64_t count = 0;
-  ForEachTriangle(g, [&count](VertexId, VertexId, VertexId) { ++count; });
+  for (VertexId u = 0; u < n; ++u) count += TrianglesFromPivot(fwd, u);
   return count;
 }
 
 std::vector<uint32_t> VertexTriangleCounts(const Graph& g) {
-  std::vector<uint32_t> counts(g.NumVertices(), 0);
-  ForEachTriangle(g, [&counts](VertexId a, VertexId b, VertexId c) {
-    ++counts[a];
-    ++counts[b];
-    ++counts[c];
-  });
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> deg(n);
+  for (uint32_t v = 0; v < n; ++v) deg[v] = g.Degree(v);
+  const ForwardAdjacency fwd = BuildForward(g, deg);
+  std::vector<uint32_t> counts(n, 0);
+  std::vector<VertexId> scratch(fwd.max_out_degree);
+  for (VertexId u = 0; u < n; ++u) {
+    VertexTrianglesFromPivot(fwd, u, scratch.data(), counts.data());
+  }
   return counts;
 }
 
@@ -67,13 +123,13 @@ uint64_t CountTrianglesParallel(const Graph& g,
                                 const ParallelOptions& options) {
   const uint32_t n = g.NumVertices();
   const std::vector<uint32_t> deg = Degrees(g, options);
+  const ForwardAdjacency fwd = BuildForward(g, deg);
   // Fixed-order sum of per-block integer partials: exact, so the
   // blocking (and therefore the thread count) cannot show through.
   return ParallelReduce<uint64_t>(
       0, n, options, 0,
       [&](uint64_t u, uint64_t* acc) {
-        TrianglesFromPivot(g, deg, static_cast<VertexId>(u),
-                           [acc](VertexId, VertexId, VertexId) { ++*acc; });
+        *acc += TrianglesFromPivot(fwd, static_cast<VertexId>(u));
       },
       [](uint64_t total, uint64_t partial) { return total + partial; });
 }
@@ -90,28 +146,27 @@ std::vector<uint32_t> VertexTriangleCountsParallel(
   const uint32_t lanes = EffectiveLanes({threads, 1}, num_blocks);
   if (lanes <= 1) return VertexTriangleCounts(g);
   const std::vector<uint32_t> deg = Degrees(g, options);
+  const ForwardAdjacency fwd = BuildForward(g, deg);
 
-  // Per-lane count arenas, allocated up front on the calling thread; a
-  // pivot's three increments go to its lane's arena, so lanes never
-  // share mutable state. Which arena a triangle lands in varies run to
-  // run (blocks are claimed dynamically), but the per-vertex SUM over
-  // arenas is an integer and therefore partition-invariant — still
-  // exactly equal to the sequential counts.
+  // Per-lane count arenas plus one Into() scratch run per lane, all
+  // allocated up front on the calling thread; a pivot's tallies go to
+  // its lane's arena, so lanes never share mutable state. Which arena a
+  // triangle lands in varies run to run (blocks are claimed
+  // dynamically), but the per-vertex SUM over arenas is an integer and
+  // therefore partition-invariant — still exactly equal to the
+  // sequential counts.
   std::vector<std::vector<uint32_t>> arenas(lanes);
   for (std::vector<uint32_t>& arena : arenas) arena.assign(n, 0);
+  std::vector<std::vector<VertexId>> scratch(lanes);
+  for (std::vector<VertexId>& s : scratch) s.assign(fwd.max_out_degree, 0);
   ParallelForBlocks(num_blocks, {threads, 0},
                     [&](uint64_t block, uint32_t lane) {
                       const uint64_t lo = block * grain;
                       const uint64_t hi = lo + grain < n ? lo + grain : n;
-                      uint32_t* const arena = arenas[lane].data();
                       for (uint64_t u = lo; u < hi; ++u) {
-                        TrianglesFromPivot(
-                            g, deg, static_cast<VertexId>(u),
-                            [arena](VertexId a, VertexId b, VertexId c) {
-                              ++arena[a];
-                              ++arena[b];
-                              ++arena[c];
-                            });
+                        VertexTrianglesFromPivot(
+                            fwd, static_cast<VertexId>(u),
+                            scratch[lane].data(), arenas[lane].data());
                       }
                     });
 

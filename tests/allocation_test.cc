@@ -18,7 +18,10 @@
 #include "common/rng.h"
 #include "community/bigclam.h"
 #include "gen/generators.h"
+#include "graph/intersect.h"
+#include "graph/intersect_simd.h"
 #include "layout/spring_layout.h"
+#include "metrics/triangles.h"
 #include "scalar/edge_scalar_tree.h"
 #include "scalar/scalar_tree.h"
 #include "scalar/super_tree.h"
@@ -177,6 +180,68 @@ TEST(AllocationDisciplineTest, MemberIndexBuildAllocatesConstantArrays) {
       << "allocation count scales with tree size - something allocates "
          "inside the index build loops";
   EXPECT_LE(large, 16u);
+}
+
+TEST(AllocationDisciplineTest, IntersectKernelsNeverAllocate) {
+  // The intersection layer (graph/intersect_simd.h) is allocation-free by
+  // contract: zero heap allocations across Count/Count3/Into and the
+  // ForEachCommonNeighbor wrappers, for every dispatchable kernel. Count3
+  // in particular must keep its pair-intersection scratch on the stack.
+  Rng rng(42);
+  const Graph g = BarabasiAlbert(1 << 10, 4, &rng);
+  std::vector<uint32_t> scratch(g.NumVertices());
+  uint64_t sink = 0;
+
+  for (const auto kernel :
+       {intersect::Kernel::kScalar, intersect::Kernel::kSse2,
+        intersect::Kernel::kAvx2}) {
+    if (!intersect::KernelSupported(kernel)) continue;
+    const intersect::Kernel previous = intersect::ActiveKernel();
+    ASSERT_TRUE(intersect::SetKernelForTesting(kernel));
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (VertexId u = 0; u < 64; ++u) {
+      for (VertexId v = u + 1; v < 64; ++v) {
+        sink += CountCommonNeighbors(g, u, v);
+        sink += CountCommonNeighbors(g, u, v, (u + v) % g.NumVertices());
+        const Graph::NeighborRange ru = g.Neighbors(u);
+        const Graph::NeighborRange rv = g.Neighbors(v);
+        sink += intersect::Into(ru.begin(), ru.size(), rv.begin(), rv.size(),
+                                scratch.data());
+        ForEachCommonNeighbor(g, u, v, [&](VertexId w) { sink += w; });
+      }
+    }
+    const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+    intersect::SetKernelForTesting(previous);
+    EXPECT_EQ(before, after)
+        << "kernel " << intersect::KernelName(kernel)
+        << " allocated inside the intersection hot path";
+  }
+  EXPECT_GT(sink, 0u);
+}
+
+uint64_t AllocationsDuringTriangleCount(uint32_t n) {
+  Rng rng(42);
+  const Graph g = BarabasiAlbert(n, 4, &rng);
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const uint64_t total = CountTriangles(g);
+  const std::vector<uint32_t> per_vertex = VertexTriangleCounts(g);
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(per_vertex.size(), g.NumVertices());
+  return after - before;
+}
+
+TEST(AllocationDisciplineTest, TriangleCountAllocationsConstantInGraphSize) {
+  // CountTriangles/VertexTriangleCounts allocate a fixed set of arrays
+  // up front (the forward adjacency's offsets + targets, the counts
+  // vector, one intersection scratch buffer) and nothing per vertex or
+  // per intersection inside the sweep.
+  const uint64_t small = AllocationsDuringTriangleCount(1 << 8);
+  const uint64_t large = AllocationsDuringTriangleCount(1 << 14);
+  EXPECT_EQ(small, large)
+      << "allocation count scales with graph size - something allocates "
+         "inside the triangle sweep";
+  EXPECT_LE(large, 12u);
 }
 
 uint64_t AllocationsDuringSpringRefine(uint32_t iterations) {
